@@ -1,0 +1,49 @@
+"""Benches for the extension experiments (§III/§VI-b robustness and the
+§IX future-work sensitivity sweep)."""
+
+from benchmarks.conftest import single_run
+from repro.experiments.robustness import run as run_robustness
+from repro.experiments.sensitivity_sweep import run as run_sweep
+
+
+def test_bench_robustness_byzantine(benchmark, report):
+    rows = single_run(benchmark, run_robustness,
+                      num_nodes=20, queries_per_setting=25,
+                      byzantine_fractions=(0.0, 0.25, 0.5), k=3, seed=0)
+    lines = ["", "== Extension — Byzantine relays vs query success =="]
+    for row in rows:
+        lines.append(f"byzantine {row['byzantine_fraction'] * 100:3.0f} %  "
+                     f"success {row['success_rate'] * 100:5.1f} %  "
+                     f"retries {row['retries']:3d}  "
+                     f"blacklisted {row['blacklisted']:3d}  "
+                     f"median {row['median_latency']:.2f} s")
+    report("\n".join(lines))
+
+    clean, quarter, half = rows
+    assert clean["success_rate"] == 1.0
+    assert half["success_rate"] >= 0.9   # blacklist+retry recovers
+    assert half["blacklisted"] > quarter["blacklisted"] > 0
+    assert half["median_latency"] >= clean["median_latency"]
+
+
+def test_bench_sensitivity_sweep(benchmark, report):
+    rows = single_run(benchmark, run_sweep,
+                      sensitivity_rates=(0.05, 0.1574, 0.35, 0.6),
+                      num_users=40, mean_queries=50.0, kmax=7, seed=0,
+                      max_queries=600)
+    lines = ["", "== Extension — workload sensitivity sweep (§IX) =="]
+    for row in rows:
+        lines.append(f"sensitive {row['sensitive_rate'] * 100:5.1f} %  "
+                     f"adaptive: re-id {row['adaptive_reid'] * 100:4.1f} % "
+                     f"mean-k {row['adaptive_mean_k']:.2f}  |  "
+                     f"static: re-id {row['static_reid'] * 100:4.1f} % "
+                     f"mean-k {row['static_mean_k']:.2f}")
+    report("\n".join(lines))
+
+    # Adaptive cost strictly tracks the workload's sensitivity...
+    mean_ks = [row["adaptive_mean_k"] for row in rows]
+    assert mean_ks == sorted(mean_ks)
+    # ...and always undercuts the flat static policy.
+    for row in rows:
+        assert row["adaptive_mean_k"] < row["static_mean_k"]
+        assert row["adaptive_reid"] < 0.15

@@ -1,0 +1,42 @@
+"""Fig 6: correctness/completeness of returned results (k = 3)."""
+
+from benchmarks.conftest import single_run
+from repro.experiments.fig6_accuracy import run
+
+
+def test_bench_fig6_accuracy(benchmark, report):
+    results = single_run(benchmark, run, num_users=60, mean_queries=60.0,
+                         k=3, seed=0, max_queries=300)
+
+    lines = ["", "== Fig 6 — accuracy of results returned to users (k=3) =="]
+    lines.append(f"{'System':<12} {'Correctness':<12} {'Completeness'}")
+    for name, score in results.items():
+        lines.append(f"{name:<12} {score.correctness * 100:>8.1f} %  "
+                     f"{score.completeness * 100:>9.1f} %")
+    report("\n".join(lines))
+
+    # Perfect-accuracy family (paper: 100 % both).
+    for name in ("TOR", "TrackMeNot", "CYCLOSA"):
+        assert results[name].perfect, name
+    # OR-aggregation family loses accuracy (paper: ~65 % / ~70 %).
+    for name in ("GooPIR", "PEAS", "X-Search"):
+        assert results[name].completeness < 0.9, name
+        assert results[name].correctness < 1.0, name
+
+
+def test_bench_fig6_k_sensitivity(benchmark, report):
+    """The paper notes accuracy 'values decrease for a larger k'."""
+
+    def sweep():
+        return {k: run(num_users=60, mean_queries=60.0, k=k, seed=0,
+                       max_queries=150) for k in (3, 7)}
+
+    results = single_run(benchmark, sweep)
+    lines = ["", "== Fig 6 follow-up — OR-system accuracy vs k =="]
+    for k, scores in results.items():
+        lines.append(f"k={k}: X-Search completeness "
+                     f"{scores['X-Search'].completeness * 100:.1f} %")
+    report("\n".join(lines))
+    assert (results[7]["X-Search"].completeness
+            < results[3]["X-Search"].completeness)
+    assert results[7]["CYCLOSA"].perfect  # unaffected by k

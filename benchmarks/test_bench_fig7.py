@@ -1,0 +1,27 @@
+"""Fig 7: CDF of the adaptive number of fake queries (kmax = 7)."""
+
+from benchmarks.conftest import single_run
+from repro.experiments.fig7_adaptive_k import run
+
+
+def test_bench_fig7_adaptive_k(benchmark, report):
+    outcome = single_run(benchmark, run, num_users=60, mean_queries=80.0,
+                         kmax=7, seed=0, max_queries=3000)
+
+    lines = ["", "== Fig 7 — CDF of the actual number of fake queries =="]
+    lines.append("k    CDF")
+    for k, fraction in outcome["cdf"]:
+        lines.append(f"{k:<4} {fraction * 100:5.1f} %")
+    lines.append(f"mean k = {outcome['mean_k']:.2f}  "
+                 f"(static X-Search policy would be 7.00)")
+    report("\n".join(lines))
+
+    # Paper: ≈25 % need no fakes; ≈35 % spike at kmax; CDF jumps at 7.
+    assert 0.05 < outcome["fraction_k0"] < 0.45
+    assert 0.10 < outcome["fraction_kmax"] < 0.55
+    # Adaptive protection sends far fewer fakes than always-kmax.
+    assert outcome["mean_k"] < 0.75 * 7
+    # CDF is monotone and ends at 1.
+    fractions = [fraction for _, fraction in outcome["cdf"]]
+    assert fractions == sorted(fractions)
+    assert fractions[-1] == 1.0

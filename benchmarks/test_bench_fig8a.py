@@ -1,0 +1,36 @@
+"""Fig 8a: end-to-end latency CDFs (Direct / X-Search / CYCLOSA / TOR)."""
+
+from benchmarks.conftest import single_run
+from repro.experiments.fig8a_latency import PAPER_MEDIANS, run
+from repro.metrics.latencystats import cdf_points, summarize
+
+
+def test_bench_fig8a_latency_cdf(benchmark, report):
+    samples = single_run(benchmark, run, num_queries=120, k=3, seed=0,
+                         num_users=40)
+
+    lines = ["", "== Fig 8a — end-to-end latency, k=3 =="]
+    lines.append(f"{'System':<10} {'median':<10} {'(paper)':<10} "
+                 f"{'p90':<10} {'p99'}")
+    for name, latencies in samples.items():
+        summary = summarize(latencies)
+        lines.append(f"{name:<10} {summary.median:<10.3f} "
+                     f"{PAPER_MEDIANS[name]:<10.3f} {summary.p90:<10.3f} "
+                     f"{summary.p99:.3f}")
+    for name, latencies in samples.items():
+        series = "  ".join(f"{q:.2f}:{v:.2f}s"
+                           for q, v in cdf_points(latencies))
+        lines.append(f"{name} CDF: {series}")
+    report("\n".join(lines))
+
+    medians = {name: summarize(latencies).median
+               for name, latencies in samples.items()}
+    # Ordering: Direct < X-Search < CYCLOSA << TOR.
+    assert medians["Direct"] < medians["X-Search"]
+    assert medians["X-Search"] < medians["CYCLOSA"]
+    assert medians["CYCLOSA"] < 2.0          # sub-second-ish (paper 0.876)
+    assert medians["TOR"] > 10 * medians["CYCLOSA"]  # paper: 13x on average
+    # Magnitudes near the paper's medians.
+    assert 0.4 < medians["X-Search"] < 0.8   # paper 0.577
+    assert 0.6 < medians["CYCLOSA"] < 1.2    # paper 0.876
+    assert 30.0 < medians["TOR"] < 120.0     # paper 62.28

@@ -1,0 +1,34 @@
+"""Fig 8b: impact of k on CYCLOSA's observed latency."""
+
+from benchmarks.conftest import single_run
+from repro.experiments.fig8b_k_latency import run
+from repro.metrics.latencystats import summarize
+
+
+def test_bench_fig8b_k_sweep(benchmark, report):
+    samples = single_run(benchmark, run, k_values=(0, 1, 3, 5, 7),
+                         num_queries=60, seed=0, num_nodes=16,
+                         num_users=40)
+
+    lines = ["", "== Fig 8b — impact of k on observed latency =="]
+    lines.append(f"{'k':<4} {'median':<10} {'p90':<10} {'max'}")
+    medians = {}
+    maxima = {}
+    for k, latencies in samples.items():
+        summary = summarize(latencies)
+        medians[k] = summary.median
+        maxima[k] = summary.maximum
+        lines.append(f"{k:<4} {summary.median:<10.3f} {summary.p90:<10.3f} "
+                     f"{summary.maximum:.3f}")
+    lines.append("(paper: median(k=3)=0.876 s, median(k=7)=1.226 s, "
+                 "worst case < 1.5 s)")
+    report("\n".join(lines))
+
+    # Latency grows with k, but stays bounded.
+    assert medians[7] > medians[0]
+    assert medians[7] > medians[3]
+    # Doubling the fakes (3 -> 7) costs well under 2x latency.
+    assert medians[7] < 2 * medians[3]
+    # Paper: even k=7's worst case stays below ~1.5 s.
+    assert maxima[7] < 2.5
+    assert 0.6 < medians[3] < 1.2  # paper 0.876

@@ -1,0 +1,75 @@
+"""Fig 8c: throughput vs latency under saturation."""
+
+import pytest
+
+from benchmarks.conftest import single_run
+from repro.experiments.fig8c_throughput import (
+    measure_cyclosa_service_time,
+    measure_xsearch_service_time,
+    run,
+)
+
+
+def test_bench_fig8c_saturation(benchmark, report):
+    results = single_run(
+        benchmark, run,
+        rates=(1000, 2500, 5000, 10000, 20000, 30000, 40000),
+        seed=0, duration=1.5)
+
+    lines = ["", "== Fig 8c — throughput vs latency (no engine dispatch) =="]
+    lines.append(f"{'system':<10} {'offered/s':<11} {'median':<10} {'p90'}")
+    for name, series in results.items():
+        for point in series:
+            lines.append(f"{name:<10} {point['rate']:<11.0f} "
+                         f"{point['median']:<10.3f} {point['p90']:.3f}")
+        lines.append(f"{name:<10} capacity = {series[0]['capacity']:.0f} req/s")
+    lines.append("(paper: CYCLOSA 40k req/s at 0.23 s median; X-Search "
+                 "straggles from 30k req/s)")
+    report("\n".join(lines))
+
+    cyclosa = {p["rate"]: p for p in results["CYCLOSA"]}
+    xsearch = {p["rate"]: p for p in results["X-Search"]}
+    # CYCLOSA sustains 40 k req/s with a fast median (paper: 0.23 s).
+    assert results["CYCLOSA"][0]["capacity"] > 40_000
+    assert cyclosa[40000]["median"] < 0.5
+    # X-Search's knee falls before 40 k (paper: straggles at 30 k).
+    assert results["X-Search"][0]["capacity"] < 35_000
+    assert xsearch[40000]["median"] > 3 * xsearch[10000]["median"]
+    # Below both knees, the two behave comparably (RTT-dominated).
+    assert cyclosa[10000]["median"] < 0.5
+
+
+def test_bench_fig8c_tcs_scaling(benchmark, report):
+    """Ablation: relay capacity vs the enclave's thread (TCS) count."""
+    from repro.experiments.fig8c_throughput import run_tcs_scaling
+
+    rows = single_run(benchmark, run_tcs_scaling, tcs_counts=(1, 2, 4),
+                      duration=0.5)
+    lines = ["", "== Fig 8c follow-up — capacity vs enclave TCS count =="]
+    for row in rows:
+        lines.append(f"TCS={row['servers']}: capacity "
+                     f"{row['capacity']:.0f} req/s, overload median "
+                     f"{row['median']:.3f} s")
+    report("\n".join(lines))
+
+    capacities = [row["capacity"] for row in rows]
+    # Capacity scales linearly with TCS count in this regime.
+    assert capacities[1] == pytest.approx(2 * capacities[0])
+    assert capacities[2] == pytest.approx(4 * capacities[0])
+    # Past-saturation latency falls as threads absorb the load.
+    assert rows[2]["median"] < rows[0]["median"]
+
+
+def test_bench_fig8c_service_times(benchmark, report):
+    """The measured enclave service times that position the knees."""
+
+    def measure():
+        return (measure_cyclosa_service_time(seed=0),
+                measure_xsearch_service_time(seed=0))
+
+    cyclosa_service, xsearch_service = single_run(benchmark, measure)
+    report(f"\nenclave service time: CYCLOSA relay {cyclosa_service * 1e6:.1f} µs"
+           f" | X-Search proxy {xsearch_service * 1e6:.1f} µs")
+    assert cyclosa_service < xsearch_service
+    assert 1.0 / cyclosa_service > 40_000
+    assert 1.0 / xsearch_service < 35_000

@@ -1,0 +1,36 @@
+"""Fig 8d: query protection vs users blocked by the search engine."""
+
+from benchmarks.conftest import single_run
+from repro.experiments.fig8d_ratelimit import ENGINE_LIMIT_PER_HOUR, run
+
+
+def test_bench_fig8d_rate_limit(benchmark, report):
+    outcome = single_run(benchmark, run, num_users=100, k=3,
+                         duration_minutes=90.0, num_cyclosa_nodes=100,
+                         seed=0)
+
+    lines = ["", "== Fig 8d — engine-side load vs the rate limit =="]
+    lines.append(f"limit: {outcome['limit_per_hour']}/h per identity; "
+                 f"offered: {outcome['offered_per_hour']:.0f} q/h total")
+    lines.append(f"{'minute':<8} {'X-S adm/h':<11} {'X-S rej/h':<11} "
+                 f"{'Cycl mean/node/h':<17} {'Cycl max/node/h'}")
+    for point in outcome["series"]:
+        lines.append(
+            f"{point['minute']:<8.0f} "
+            f"{point['xsearch_admitted_per_h']:<11.0f} "
+            f"{point['xsearch_rejected_per_h']:<11.0f} "
+            f"{point['cyclosa_mean_per_node_h']:<17.1f} "
+            f"{point['cyclosa_max_per_node_h']:.0f}")
+    report("\n".join(lines))
+
+    # X-Search exceeds the limit and gets blocked (admissions collapse).
+    assert outcome["xsearch_rejected_total"] > 0
+    late = outcome["series"][-1]
+    assert late["xsearch_admitted_per_h"] == 0
+    assert late["xsearch_rejected_per_h"] > ENGINE_LIMIT_PER_HOUR
+    # CYCLOSA spreads the identical load under the limit on every node.
+    assert outcome["cyclosa_rejected_total"] == 0
+    for point in outcome["series"]:
+        assert point["cyclosa_max_per_node_h"] < ENGINE_LIMIT_PER_HOUR
+    # Paper's scale: ~100 req/h/node for k=3 ("up to 94 req/hour").
+    assert 50 < late["cyclosa_mean_per_node_h"] < 250

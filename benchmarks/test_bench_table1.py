@@ -1,0 +1,28 @@
+"""Table I: the qualitative property matrix, regenerated behaviourally."""
+
+from benchmarks.conftest import single_run
+from repro.experiments.table1_properties import PROPERTIES, run
+
+
+def test_bench_table1_property_matrix(benchmark, report):
+    outcome = single_run(benchmark, run, num_users=40, mean_queries=50.0,
+                         seed=0, sample_size=100)
+
+    lines = ["", "== Table I — private web search mechanisms =="]
+    header = f"{'System':<12}" + "".join(f"{p[:14]:<16}" for p in PROPERTIES)
+    lines.append(header)
+    for name, maps in outcome.items():
+        measured = maps["measured"]
+        row = f"{name:<12}" + "".join(
+            f"{'X' if measured[p] else '-':<16}" for p in PROPERTIES)
+        lines.append(row)
+    report("\n".join(lines))
+
+    # The paper's matrix, exactly.
+    for name, maps in outcome.items():
+        assert maps["measured"] == maps["declared"], name
+    assert all(outcome["CYCLOSA"]["measured"].values())
+    assert not outcome["PEAS"]["measured"]["scalability"]
+    assert not outcome["X-Search"]["measured"]["accuracy"]
+    assert not outcome["TOR"]["measured"]["indistinguishability"]
+    assert not outcome["TrackMeNot"]["measured"]["unlinkability"]

@@ -1,0 +1,26 @@
+"""Bench: the §IV traffic-analysis contrast, quantified."""
+
+from benchmarks.conftest import single_run
+from repro.experiments.traffic_analysis import run
+
+
+def test_bench_traffic_size_leak(benchmark, report):
+    rows = single_run(benchmark, run, num_users=40, mean_queries=50.0,
+                      k=3, seed=0, max_queries=300)
+    lines = ["", "== Traffic analysis — size-threshold adversary (§IV) =="]
+    for row in rows:
+        lines.append(f"{row['system']:<30} advantage "
+                     f"{row['advantage'] * 100:5.1f} %  "
+                     f"(distinct real sizes: {row['real_sizes']})")
+    report("\n".join(lines))
+
+    by_system = {row["system"].split(" ")[0]: row for row in rows}
+    # CYCLOSA's padded envelope: zero size signal, one wire size.
+    assert by_system["CYCLOSA"]["advantage"] < 0.02
+    assert by_system["CYCLOSA"]["real_sizes"] == 1
+    # X-Search's OR groups: nearly perfectly separable by size.
+    assert by_system["X-Search"]["advantage"] > 0.9
+    # TrackMeNot sits in between (plain text, different shapes).
+    assert (by_system["CYCLOSA"]["advantage"]
+            < by_system["TrackMeNot"]["advantage"]
+            < by_system["X-Search"]["advantage"])

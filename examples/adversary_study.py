@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Scenario: measure how well a curious search engine can re-identify you.
+
+Builds a synthetic population of search users (the AOL-like workload),
+gives the adversary each user's history as prior knowledge, then
+replays new queries through three protection levels and runs SimAttack
+on what reaches the engine:
+
+1. no protection (the engine links identity to query directly),
+2. TOR-style unlinkability only,
+3. CYCLOSA (unlinkability + adaptive indistinguishability).
+
+Run:  python examples/adversary_study.py
+"""
+
+from repro.attacks import SimAttack, build_profiles
+from repro.baselines import CyclosaAnalytic, DirectSearch, TorSearch
+from repro.core.sensitivity import SemanticAssessor
+from repro.datasets import generate_aol_log, train_test_split
+from repro.metrics.privacy import reidentification_rate
+from repro.text.wordnet import SyntheticWordNet
+
+
+def main() -> None:
+    print("Generating a synthetic 60-user query log...")
+    log = generate_aol_log(num_users=60, mean_queries_per_user=80, seed=4)
+    train, test = train_test_split(log)
+    print(f"  {len(train.records)} training queries (the adversary's prior)")
+    print(f"  {len(test.records)} testing queries (to protect)")
+
+    attack = SimAttack(build_profiles(train))
+    semantic = SemanticAssessor.from_resources(
+        wordnet=SyntheticWordNet.build(seed=4), mode="wordnet")
+
+    systems = [
+        ("No protection", DirectSearch()),
+        ("TOR (unlinkability only)", TorSearch(seed=4)),
+        ("CYCLOSA (kmax=7, adaptive)",
+         CyclosaAnalytic(semantic, kmax=7, adaptive=True, seed=4)),
+    ]
+    if isinstance(systems[2][1], CyclosaAnalytic):
+        for user in log.users:
+            systems[2][1].preload_history(
+                user, [r.text for r in train.queries_of(user)])
+
+    print(f"\n{'system':<30} {'queries seen':<13} "
+          f"{'re-identification rate':<22}")
+    print("-" * 66)
+    sample = test.records[:1200]
+    for label, system in systems:
+        observations = []
+        for record in sample:
+            observations.extend(system.protect(record.user_id, record.text))
+        rate = reidentification_rate(attack, observations,
+                                     system.attack_surface)
+        print(f"{label:<30} {len(observations):<13} {rate * 100:>6.1f} %")
+
+    print("\nFor 'No protection' the engine already knows who you are —")
+    print("the attack trivially wins on every query it can match.")
+    print("TOR hides the address but profiles betray ~1/3 of queries.")
+    print("CYCLOSA buries each real query among look-alike fakes from")
+    print("other users, collapsing the attack's yield.")
+
+
+if __name__ == "__main__":
+    main()

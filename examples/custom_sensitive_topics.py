@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Scenario: a user imports their own sensitive-topic dictionary.
+
+§V-A1: "by default a user in CYCLOSA can select sensitive categories
+among health, politics, sex, and religion. Nevertheless, a user can
+import dictionaries to create other sensitive topics."
+
+Here a user going through legal and financial trouble imports a custom
+"legal-finance" dictionary. Queries touching it get maximum protection;
+their ordinary queries stay cheap. The demo also shows the flip side:
+with only the *default* topics, the same legal queries would have been
+under-protected.
+
+Run:  python examples/custom_sensitive_topics.py
+"""
+
+from repro import CyclosaConfig, CyclosaNetwork
+from repro.core.sensitivity import SemanticAssessor
+from repro.text.wordnet import SyntheticWordNet
+
+# The imported dictionary: terms the user personally considers
+# sensitive. Any vocabulary works — CYCLOSA just needs the term set.
+LEGAL_FINANCE_TERMS = {
+    "lawyer", "lawsuit", "attorney", "bankruptcy", "foreclosure",
+    "divorce", "custody", "debt", "creditor", "repossession",
+    "eviction", "garnishment", "settlement", "alimony",
+}
+
+SESSION = [
+    "bankruptcy lawyer free consultation",
+    "foreclosure timeline after missed payments",
+    "divorce custody rights",
+    "pizza delivery near me",
+    "laptop reviews compare prices",
+]
+
+
+def build_network(semantic, label):
+    config = CyclosaConfig(kmax=7)
+    net = CyclosaNetwork.create(num_nodes=14, seed=61, config=config,
+                                semantic=semantic)
+    print(f"\n--- {label} ---")
+    print(f"{'query':<44} {'sensitive?':<11} {'k'}")
+    for query in SESSION:
+        result = net.node(0).search(query)
+        report = net.nodes[0].sensitivity.assess(query)
+        print(f"{query:<44} {str(report.semantic_sensitive):<11} {result.k}")
+
+
+def main() -> None:
+    wordnet = SyntheticWordNet.build(seed=61)
+
+    # Default protection: only the four Google-policy topics.
+    default_assessor = SemanticAssessor.from_resources(
+        wordnet=wordnet, mode="wordnet")
+    build_network(default_assessor, "default topics only "
+                  "(legal queries under-protected)")
+
+    # The user's imported dictionary joins the WordNet leg.
+    custom_assessor = SemanticAssessor(
+        wordnet_terms=set(wordnet.sensitive_dictionary())
+        | LEGAL_FINANCE_TERMS,
+        mode="wordnet")
+    build_network(custom_assessor, "with the imported legal-finance "
+                  "dictionary (kmax on legal queries)")
+
+
+if __name__ == "__main__":
+    main()

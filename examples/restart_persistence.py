@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Scenario: the browser restarts — what happens to the fake pool?
+
+A CYCLOSA node's quality of protection depends on its enclave's table
+of other users' past queries. That table must survive browser restarts
+(or every restart would degrade everyone's fakes back to trending
+queries) — but it must *never* be readable by the machine's owner,
+because it literally contains other people's search history.
+
+This demo seals the table to disk, "restarts" the node (destroys the
+enclave), shows the host-side blob is opaque, and restores it into a
+fresh enclave. It then shows the two failure cases: a tampered build
+and a different machine both fail to unseal.
+
+Run:  python examples/restart_persistence.py
+"""
+
+import random
+
+from repro import CyclosaNetwork
+from repro.core.enclave import CyclosaEnclave
+from repro.sgx.enclave import EnclaveHost
+from repro.sgx.sealing import SealingError, SealingService
+
+
+def main() -> None:
+    net = CyclosaNetwork.create(num_nodes=10, seed=33)
+    # Generate some traffic so relays accumulate real past queries.
+    for index in range(6):
+        net.node(index % 4).search(f"warmup query number {index}",
+                                   k_override=2)
+
+    node = net.nodes[0]
+    size = node.enclave.table_size()
+    print(f"node000's enclave table holds {size} past queries")
+
+    blob = node.persist_table()
+    print(f"sealed blob: {len(blob.ciphertext)} bytes of ciphertext "
+          f"(host-readable metadata: platform {blob.platform_id}, "
+          f"measurement {blob.measurement[:4].hex()}...)")
+    print(f"does the blob leak query text? "
+          f"{b'warmup query' in blob.ciphertext}")
+
+    print("\n'restarting' the browser: destroying the enclave...")
+    node.host.destroy_enclave(node.enclave)
+    fresh = node.host.create_enclave(CyclosaEnclave)
+    print(f"fresh enclave table size: {fresh.table_size()}")
+    restored = fresh.unseal_table(node.sealing, blob)
+    print(f"restored {restored} entries after unsealing")
+
+    print("\nnegative cases:")
+
+    class ForkedEnclave(CyclosaEnclave):
+        ENCLAVE_VERSION = "1.0-modified"
+
+    fork = node.host.create_enclave(ForkedEnclave)
+    try:
+        fork.unseal_table(node.sealing, blob)
+        print("  modified build unsealed the table (BUG!)")
+    except SealingError as exc:
+        print(f"  modified build: rejected ({exc})")
+
+    other_rng = random.Random(99)
+    other_host = EnclaveHost(other_rng)
+    other_sealing = SealingService(other_host.platform_id, other_rng)
+    stranger = other_host.create_enclave(CyclosaEnclave)
+    try:
+        stranger.unseal_table(other_sealing, blob)
+        print("  another machine unsealed the table (BUG!)")
+    except SealingError as exc:
+        print(f"  another machine: rejected ({exc})")
+
+
+if __name__ == "__main__":
+    main()

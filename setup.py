@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment has no ``wheel`` package, so PEP 517 editable installs
+(``bdist_wheel``) fail; keeping a ``setup.py`` lets ``pip install -e .``
+fall back to the legacy ``develop`` path. All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""CYCLOSA reproduction: decentralized private web search (ICDCS 2018).
+
+This package reimplements, in pure Python, the full CYCLOSA system of
+Pires et al. together with every substrate it depends on: a simulated
+Intel SGX enclave runtime, a from-scratch cryptographic toolkit, a
+deterministic discrete-event network simulator, gossip-based peer
+sampling, a TF-IDF search engine with bot detection, an NLP substrate
+(Porter stemming, LDA, a synthetic WordNet), a synthetic AOL-like query
+log, five state-of-the-art baselines (TOR, TrackMeNot, GooPIR, PEAS,
+X-Search), and the SimAttack re-identification attack used to evaluate
+them all.
+
+Quickstart::
+
+    from repro import CyclosaNetwork
+
+    net = CyclosaNetwork.create(num_nodes=20, seed=7)
+    user = net.node(0)
+    result = user.search("flu symptoms treatment")
+    print(result.documents)
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+__all__ = ["CyclosaNetwork", "SearchResult", "CyclosaConfig"]
+
+__version__ = "1.0.0"
+
+_LAZY_EXPORTS = {
+    "CyclosaNetwork": ("repro.core.client", "CyclosaNetwork"),
+    "SearchResult": ("repro.core.client", "SearchResult"),
+    "CyclosaConfig": ("repro.core.config", "CyclosaConfig"),
+}
+
+
+def __getattr__(name: str):
+    """Lazily resolve the top-level API (keeps subpackages importable
+    without pulling the whole dependency graph)."""
+    try:
+        module_name, attribute = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, attribute)

@@ -1,0 +1,14 @@
+"""User re-identification attacks.
+
+- :mod:`repro.attacks.profiles`  — the adversary's prior: per-user
+  profiles built from the training split (§VII-B: 2/3 of each user's
+  queries).
+- :mod:`repro.attacks.simattack` — SimAttack (Petit et al., JISA 2016),
+  the attack the paper uses for every Fig 5 bar, in all four variants
+  (identified, group-identified, group-anonymous, anonymous-single).
+"""
+
+from repro.attacks.profiles import UserProfile, build_profiles
+from repro.attacks.simattack import SimAttack
+
+__all__ = ["UserProfile", "build_profiles", "SimAttack"]

@@ -1,0 +1,43 @@
+"""Adversary priors: user profiles from past queries.
+
+§VII-E: "we assume an adversary that intercepts queries arriving to the
+search engine, and that has prior knowledge about each user in the form
+of a user profile containing user's past queries" — the training split
+of the log. A profile is the list of the user's past queries as binary
+(stemmed) term vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List
+
+from repro.datasets.aol import SyntheticAolLog
+from repro.text.vectorize import query_vector
+
+
+@dataclass
+class UserProfile:
+    """One user's prior: their past queries as term vectors."""
+
+    user_id: str
+    query_vectors: List[FrozenSet[str]] = field(default_factory=list)
+
+    def add_query(self, text: str) -> None:
+        vector = query_vector(text)
+        if vector:
+            self.query_vectors.append(vector)
+
+    def __len__(self) -> int:
+        return len(self.query_vectors)
+
+
+def build_profiles(training_log: SyntheticAolLog) -> Dict[str, UserProfile]:
+    """Build the full prior from a training split."""
+    profiles: Dict[str, UserProfile] = {}
+    for record in training_log.records:
+        profile = profiles.get(record.user_id)
+        if profile is None:
+            profile = profiles[record.user_id] = UserProfile(record.user_id)
+        profile.add_query(record.text)
+    return profiles

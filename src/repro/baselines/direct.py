@@ -1,0 +1,61 @@
+"""No protection: the user queries the engine directly.
+
+The engine sees (user identity, query) for every query. This is the
+protection-free scenario of §VII-A, and also the accuracy reference
+(``Ror`` in the Fig 6 metrics is by definition the direct answer).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.baselines.base import (
+    AttackSurface,
+    EngineObservation,
+    PrivateSearchSystem,
+)
+from repro.net.transport import Network, NetNode
+
+
+class DirectSearch(PrivateSearchSystem):
+    """Query the engine with no intermediary and no fakes."""
+
+    name = "Direct"
+    attack_surface = AttackSurface.IDENTIFIED
+    properties = {
+        "unlinkability": False,
+        "indistinguishability": False,
+        "accuracy": True,
+        "scalability": True,
+    }
+
+    def protect(self, user_id: str, query: str) -> List[EngineObservation]:
+        return [EngineObservation(
+            identity=user_id, text=query, true_user=user_id)]
+
+
+class DirectClientNode(NetNode):
+    """Network version for the latency baseline of Fig 8a: one plain
+    request to the engine, no intermediaries, no crypto."""
+
+    def __init__(self, network: Network, address: str,
+                 engine_address: str) -> None:
+        super().__init__(network, address)
+        self.engine_address = engine_address
+
+    def search(self, query: str,
+               on_result: Callable[[Dict[str, Any]], None]) -> None:
+        issued_at = self.network.simulator.now
+
+        def on_reply(response: Any) -> None:
+            on_result({
+                "query": query,
+                "status": response.get("status", "ok"),
+                "hits": response.get("hits", []),
+                "latency": self.network.simulator.now - issued_at,
+                "k": 0,
+            })
+
+        self.request(self.engine_address,
+                     {"query": query, "meta": {"true_user": self.address}},
+                     on_reply, timeout=120.0, kind="search")

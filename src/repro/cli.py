@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``list``                      — list every reproducible experiment.
+- ``run <experiment> [...]``    — run one experiment's paper-scale CLI.
+- ``all``                       — run every analytic experiment in order.
+- ``search <query>``            — one protected search on a demo overlay.
+
+Examples::
+
+    python -m repro list
+    python -m repro run fig5
+    python -m repro search "flu symptoms treatment"
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import Dict, List, Optional
+
+#: experiment alias -> (module, description)
+EXPERIMENTS: Dict[str, tuple] = {
+    "table1": ("repro.experiments.table1_properties",
+               "Table I  — property matrix (behavioural probes)"),
+    "table2": ("repro.experiments.table2_categorizer",
+               "Table II — categorizer precision/recall"),
+    "fig5": ("repro.experiments.fig5_reidentification",
+             "Fig 5    — re-identification rates"),
+    "fig6": ("repro.experiments.fig6_accuracy",
+             "Fig 6    — correctness/completeness"),
+    "fig7": ("repro.experiments.fig7_adaptive_k",
+             "Fig 7    — adaptive-k CDF"),
+    "fig8a": ("repro.experiments.fig8a_latency",
+              "Fig 8a   — end-to-end latency CDFs"),
+    "fig8b": ("repro.experiments.fig8b_k_latency",
+              "Fig 8b   — latency vs k"),
+    "fig8c": ("repro.experiments.fig8c_throughput",
+              "Fig 8c   — throughput/latency saturation"),
+    "fig8d": ("repro.experiments.fig8d_ratelimit",
+              "Fig 8d   — rate-limit survival"),
+    "ablations": ("repro.experiments.ablations",
+                  "Ablations — adaptive k, fake source, paths, EPC"),
+    "robustness": ("repro.experiments.robustness",
+                   "Extension — Byzantine relays and churn"),
+    "sweep": ("repro.experiments.sensitivity_sweep",
+              "Extension — workload sensitivity sweep (§IX)"),
+    "traffic": ("repro.experiments.traffic_analysis",
+                "Extension — size-leak quantification (§IV)"),
+    "calibration": ("repro.experiments.calibration",
+                    "Tooling — generator-knob calibration sweep"),
+    "fullstack": ("repro.experiments.fullstack_privacy",
+                  "Validation — SimAttack vs the real network stack"),
+}
+
+#: 'all' runs the cheap analytic experiments; the network-heavy
+#: fig8a/fig8b are opt-in by name.
+DEFAULT_SEQUENCE = ("table1", "table2", "fig5", "fig6", "fig7",
+                    "fig8c", "fig8d", "ablations")
+
+
+def _cmd_list() -> int:
+    print("Reproducible experiments (python -m repro run <name>):\n")
+    for alias, (_module, description) in EXPERIMENTS.items():
+        print(f"  {alias:<11} {description}")
+    return 0
+
+
+def _cmd_run(names: List[str]) -> int:
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        print("use `python -m repro list`", file=sys.stderr)
+        return 2
+    for name in names:
+        module_name, _ = EXPERIMENTS[name]
+        module = importlib.import_module(module_name)
+        module.main()
+    return 0
+
+
+def _cmd_all() -> int:
+    return _cmd_run(list(DEFAULT_SEQUENCE))
+
+
+def _cmd_search(query: str, num_nodes: int, seed: int,
+                kmax: Optional[int]) -> int:
+    from repro.core.client import CyclosaNetwork
+    from repro.core.config import CyclosaConfig
+
+    config = CyclosaConfig() if kmax is None else CyclosaConfig(kmax=kmax)
+    print(f"bootstrapping a {num_nodes}-node overlay (seed {seed})...")
+    deployment = CyclosaNetwork.create(num_nodes=num_nodes, seed=seed,
+                                       config=config)
+    result = deployment.node(0).search(query)
+    print(f"\nquery     : {query!r}")
+    print(f"status    : {result.status}")
+    print(f"fakes (k) : {result.k}")
+    print(f"latency   : {result.latency:.3f} s (simulated)")
+    print("results   :")
+    for url in result.documents:
+        print(f"  - {url}")
+    print("\nengine observed:")
+    for entry in deployment.engine_log[-(result.k + 1):]:
+        marker = "fake" if entry.is_fake else "REAL"
+        print(f"  [{marker}] from {entry.identity}: {entry.text}")
+    return 0 if result.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CYCLOSA reproduction — experiments and demos")
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("list", help="list experiments")
+
+    run_parser = subparsers.add_parser("run", help="run experiments")
+    run_parser.add_argument("names", nargs="+",
+                            help="experiment aliases (see `list`)")
+
+    subparsers.add_parser("all", help="run the full analytic sequence")
+
+    search_parser = subparsers.add_parser(
+        "search", help="one protected search on a demo overlay")
+    search_parser.add_argument("query")
+    search_parser.add_argument("--nodes", type=int, default=16)
+    search_parser.add_argument("--seed", type=int, default=7)
+    search_parser.add_argument("--kmax", type=int, default=None)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.names)
+    if args.command == "all":
+        return _cmd_all()
+    if args.command == "search":
+        return _cmd_search(args.query, args.nodes, args.seed, args.kmax)
+    parser.print_help()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""CYCLOSA's core: the paper's contribution.
+
+- :mod:`repro.core.sensitivity`  — the two-dimensional sensitivity
+  analysis (§V-A): semantic tagging against user-selected sensitive
+  topics (WordNet + LDA dictionaries) and linkability against the
+  user's own past queries (ranked cosine + exponential smoothing).
+- :mod:`repro.core.adaptive`     — the adaptive protection rule (§V-B):
+  semantically sensitive → ``kmax`` fakes; otherwise a linear
+  projection of the linkability score onto [0, kmax].
+- :mod:`repro.core.fake_queries` — the in-enclave table of *other
+  users'* past queries, the source of indistinguishable fakes (§IV).
+- :mod:`repro.core.enclave`      — the CYCLOSA enclave: channel keys,
+  past-query table, query protection and relay forwarding, all behind
+  ecall gates (§IV: "all components that process sensitive data are
+  located within the enclave").
+- :mod:`repro.core.node`         — the browser-extension node: the
+  untrusted side (sensitivity analysis on the *user's own* data, peer
+  sampling, transport) plus the enclave.
+- :mod:`repro.core.client`       — the public API: build a network,
+  search from any node, inspect results.
+"""
+
+from repro.core.adaptive import choose_k
+from repro.core.client import CyclosaNetwork, SearchResult
+from repro.core.config import CyclosaConfig
+from repro.core.fake_queries import PastQueryTable
+from repro.core.node import CyclosaNode
+from repro.core.sensitivity import (
+    LinkabilityAssessor,
+    SemanticAssessor,
+    SensitivityAnalysis,
+    SensitivityReport,
+)
+
+__all__ = [
+    "choose_k",
+    "CyclosaNetwork",
+    "SearchResult",
+    "CyclosaConfig",
+    "PastQueryTable",
+    "CyclosaNode",
+    "LinkabilityAssessor",
+    "SemanticAssessor",
+    "SensitivityAnalysis",
+    "SensitivityReport",
+]

@@ -1,0 +1,26 @@
+"""The adaptive protection rule (§V-B).
+
+"If the query includes at least one term which belongs to a dictionary
+related to a sensitive topic defined by the user, the number of fake
+queries is maximal, as defined by kmax. ... For queries that are not
+semantically sensitive, the number of fake queries is defined according
+to a linear projection between the score returned by the linkability
+assessment in [0, 1] and the maximum number of fake queries."
+"""
+
+from __future__ import annotations
+
+from repro.core.sensitivity import SensitivityReport
+
+
+def choose_k(report: SensitivityReport, kmax: int) -> int:
+    """Number of fake queries for one assessed query.
+
+    - Semantically sensitive → ``kmax`` (maximum protection).
+    - Otherwise → ``round(linkability * kmax)`` (linear projection).
+    """
+    if kmax < 0:
+        raise ValueError("kmax must be >= 0")
+    if report.semantic_sensitive:
+        return kmax
+    return min(kmax, int(round(report.linkability * kmax)))

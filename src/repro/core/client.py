@@ -1,0 +1,216 @@
+"""Public API: build and drive a CYCLOSA deployment.
+
+:class:`CyclosaNetwork` assembles everything — the event loop, the
+simulated internet, the search engine, the attestation service, the
+bootstrap repository and N CYCLOSA nodes — wires the latency
+calibration from :class:`~repro.core.config.CyclosaConfig`, and runs
+the warm-up (gossip mixing, engine handshakes).
+
+:meth:`CyclosaUser.search` is the synchronous facade used by the
+examples: it schedules a protected search and drives the simulator
+until the result lands.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.config import CyclosaConfig
+from repro.core.enclave import CyclosaEnclave
+from repro.core.node import CyclosaNode, CyclosaServices
+from repro.core.sensitivity import SemanticAssessor
+from repro.datasets.trends import trending_queries
+from repro.gossip.bootstrap_repo import PublicRepository
+from repro.net.latency import LogNormalLatency
+from repro.net.simulator import Simulator
+from repro.net.transport import Network
+from repro.searchengine.corpus import Corpus, build_corpus
+from repro.searchengine.engine import SearchEngine
+from repro.searchengine.node import SearchEngineNode
+from repro.searchengine.ratelimit import RateLimiter
+from repro.sgx.attestation import IntelAttestationService, MeasurementPolicy
+from repro.text.wordnet import SyntheticWordNet
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """What a user gets back from one protected search."""
+
+    query: str
+    k: int
+    status: str
+    hits: List[Dict[str, Any]]
+    latency: float
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def documents(self) -> List[str]:
+        """Result URLs, in rank order."""
+        return [hit["url"] for hit in self.hits]
+
+
+class CyclosaUser:
+    """Synchronous facade over one node for interactive use."""
+
+    def __init__(self, deployment: "CyclosaNetwork", node: CyclosaNode) -> None:
+        self._deployment = deployment
+        self.node = node
+
+    def search(self, query: str, k_override: Optional[int] = None,
+               max_wait: float = 600.0) -> SearchResult:
+        """Issue a protected search and run the simulation until the
+        result arrives (or *max_wait* simulated seconds elapse)."""
+        holder: Dict[str, Any] = {}
+        self.node.search(query, on_result=lambda r: holder.update(r),
+                         k_override=k_override)
+        simulator = self._deployment.simulator
+        deadline = simulator.now + max_wait
+        while "status" not in holder and simulator.now < deadline:
+            if not simulator.step():
+                break
+        if "status" not in holder:
+            return SearchResult(query=query, k=-1, status="timeout",
+                                hits=[], latency=max_wait)
+        return SearchResult(
+            query=holder["query"], k=holder["k"], status=holder["status"],
+            hits=holder["hits"], latency=holder["latency"])
+
+    def preload_history(self, queries: List[str]) -> None:
+        self.node.preload_history(queries)
+
+
+@dataclass
+class CyclosaNetwork:
+    """A fully assembled CYCLOSA deployment over the simulator."""
+
+    simulator: Simulator
+    network: Network
+    engine_node: SearchEngineNode
+    nodes: List[CyclosaNode]
+    services: CyclosaServices
+    config: CyclosaConfig
+    rng: random.Random
+    _users: Dict[int, CyclosaUser] = field(default_factory=dict)
+
+    @classmethod
+    def create(cls, num_nodes: int = 20, seed: int = 0,
+               config: Optional[CyclosaConfig] = None,
+               semantic: Optional[SemanticAssessor] = None,
+               corpus: Optional[Corpus] = None,
+               warmup_seconds: float = 40.0) -> "CyclosaNetwork":
+        """Build a deployment.
+
+        Parameters
+        ----------
+        num_nodes:
+            CYCLOSA participants (each is simultaneously client and relay).
+        seed:
+            Master seed; the whole deployment is deterministic given it.
+        config:
+            Tunables; defaults to the paper's evaluation settings.
+        semantic:
+            Shared semantic assessor. Default: WordNet-domain
+            dictionaries over the user's sensitive topics (building the
+            LDA leg is the experiments' job — it needs a training
+            corpus).
+        corpus:
+            Search-engine corpus; a default corpus is generated if omitted.
+        warmup_seconds:
+            Simulated time to let gossip mix views and engine
+            handshakes finish before the deployment is used.
+        """
+        if num_nodes < 2:
+            raise ValueError("a CYCLOSA overlay needs at least 2 nodes")
+        config = config or CyclosaConfig()
+        rng = random.Random(seed)
+        simulator = Simulator()
+        network = Network(
+            simulator, rng,
+            default_latency=LogNormalLatency(
+                median=config.peer_link_median,
+                sigma=config.peer_link_sigma))
+
+        engine = SearchEngine(
+            corpus if corpus is not None else build_corpus(seed=seed),
+            results_per_query=config.results_per_query)
+        rate_limiter = None
+        if config.engine_rate_limit is not None:
+            rate_limiter = RateLimiter(max_per_window=config.engine_rate_limit)
+        engine_node = SearchEngineNode(
+            network, engine, rng,
+            processing=LogNormalLatency(
+                median=config.engine_processing_median,
+                sigma=config.engine_processing_sigma),
+            rate_limiter=rate_limiter)
+
+        if semantic is None:
+            wordnet = SyntheticWordNet.build(seed=seed)
+            semantic = SemanticAssessor.from_resources(
+                wordnet=wordnet,
+                sensitive_topics=config.sensitive_topics,
+                mode="wordnet", wordnet_min_hits=1)
+
+        services = CyclosaServices(
+            ias=IntelAttestationService(),
+            policy=MeasurementPolicy(),
+            repository=PublicRepository(rng),
+            engine_address=engine_node.address,
+            bootstrap_queries=trending_queries(config.bootstrap_trends,
+                                               seed=seed))
+        services.policy.allow_class(CyclosaEnclave)
+
+        nodes: List[CyclosaNode] = []
+        for index in range(num_nodes):
+            node = CyclosaNode(
+                network, f"node{index:03d}", rng, config, services,
+                semantic=semantic, user_id=f"user{index:03d}")
+            # Peers reach the engine over a fast, well-peered path —
+            # unlike the residential peer↔peer links.
+            network.set_link_latency(
+                node.address, engine_node.address,
+                LogNormalLatency(median=config.engine_link_median, sigma=0.3))
+            if config.peer_heterogeneity_sigma > 0:
+                # Heterogeneous access links: some homes are on fibre,
+                # some on congested DSL — scale this node's link model.
+                import math
+
+                factor = math.exp(
+                    config.peer_heterogeneity_sigma * rng.gauss(0.0, 1.0))
+                network.set_node_latency(
+                    node.address,
+                    LogNormalLatency(
+                        median=config.peer_link_median * factor,
+                        sigma=config.peer_link_sigma))
+            nodes.append(node)
+        for node in nodes:
+            node.bootstrap()
+
+        deployment = cls(
+            simulator=simulator, network=network, engine_node=engine_node,
+            nodes=nodes, services=services, config=config, rng=rng)
+        if warmup_seconds > 0:
+            simulator.run(until=warmup_seconds)
+        return deployment
+
+    # -- access ------------------------------------------------------------
+
+    def node(self, index: int) -> CyclosaUser:
+        """A synchronous user handle for node *index*."""
+        if index not in self._users:
+            self._users[index] = CyclosaUser(self, self.nodes[index])
+        return self._users[index]
+
+    def run(self, seconds: float) -> None:
+        """Advance the whole deployment by *seconds* of simulated time."""
+        self.simulator.advance(seconds)
+
+    @property
+    def engine_log(self):
+        """The honest-but-curious engine's observation log (for attacks
+        and metrics)."""
+        return self.engine_node.tap.entries

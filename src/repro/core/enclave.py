@@ -1,0 +1,365 @@
+"""The CYCLOSA enclave: all trusted code of a node (§IV).
+
+Everything that touches *other users'* data runs behind ecall gates:
+
+- the secure-channel keys (peer channels are only installed after
+  remote attestation; the engine channel is TLS terminated inside the
+  enclave, §V-F);
+- the past-queries table (fake-query source — other users' queries must
+  never reach the untrusted host in plain text);
+- query protection: choosing fakes, binding each query to its relay,
+  sealing one record per relay (§V-C);
+- relay forwarding: unwrapping a peer's record, storing its query in
+  the table, re-sealing it for the engine, and re-sealing the engine's
+  answer for the requester — the plaintext of a relayed query exists
+  *only* inside the enclave;
+- response filtering: only the record carrying the real query's token
+  surfaces results; fake responses are decrypted and dropped inside
+  the enclave, so even the local host cannot tell which response
+  mattered.
+
+The untrusted node (:mod:`repro.core.node`) moves sealed bytes around
+and runs everything that only involves the local user's own data
+(sensitivity analysis, peer sampling) — "this allows to drastically
+minimise the amount of trusted code" (§IV).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.fake_queries import PastQueryTable
+from repro.net import wire
+from repro.net.tls import SecureChannel, TlsError
+from repro.sgx.enclave import Enclave, ecall
+
+#: Forward records are padded to a multiple of this envelope before
+#: sealing, so an observer of encrypted traffic cannot distinguish a
+#: short real query from a long fake (or vice versa) by size — the §IV
+#: argument for why CYCLOSA's traffic is uniform where X-Search's
+#: OR-groups are visibly larger than plain queries.
+RECORD_ENVELOPE_BYTES = 512
+
+
+def _pad_record(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Pad a wire-encodable record up to the envelope boundary."""
+    base = len(wire.encode({**record, "pad": ""}))
+    target = ((base // RECORD_ENVELOPE_BYTES) + 1) * RECORD_ENVELOPE_BYTES
+    return {**record, "pad": "0" * (target - base)}
+
+
+class CyclosaEnclave(Enclave):
+    """Trusted code of one CYCLOSA node.
+
+    §V-F: linking mbedTLS yields "an enclave of only 1.7 MB, thus,
+    CYCLOSA does not suffer from EPC paging" — the base footprint below
+    is exactly that figure, and the EPC tests assert the no-paging
+    claim.
+    """
+
+    ENCLAVE_VERSION = "1.0"
+    BASE_FOOTPRINT_BYTES = 1_700_000
+    #: Bound on outstanding per-record state (pending tokens and relay
+    #: forward handles). Responses that never arrive would otherwise
+    #: leak enclave memory forever; beyond the cap, the oldest entries
+    #: are dropped — their late responses are then treated like any
+    #: unknown token (silently discarded).
+    MAX_PENDING = 4096
+
+    def __init__(self, host, enclave_id, rng,
+                 table_capacity: int = 2000,
+                 bytes_per_table_entry: int = 64) -> None:
+        super().__init__(host, enclave_id, rng)
+        self._rng = rng
+        self._bytes_per_entry = bytes_per_table_entry
+        self._token_counter = itertools.count(1)
+        # Trusted state is initialised through a private gate: the
+        # constructor runs "during EINIT", conceptually inside.
+        self._depth += 1
+        try:
+            self.trusted["table"] = PastQueryTable(capacity=table_capacity)
+            self.trusted["peer_channels"] = {}
+            self.trusted["engine_channel"] = None
+            self.trusted["pending"] = {}   # token -> {"real", "query", ...}
+            self.trusted["forwards"] = {}  # handle -> {"src", "token"}
+        finally:
+            self._depth -= 1
+
+    # -- channels ---------------------------------------------------------
+
+    @ecall
+    def install_peer_channel(self, peer: str, channel: SecureChannel) -> None:
+        """Store an attested peer channel's keys in enclave memory."""
+        self.trusted["peer_channels"][peer] = channel
+
+    @ecall
+    def install_engine_channel(self, channel: SecureChannel) -> None:
+        """Store the enclave→engine TLS channel."""
+        self.trusted["engine_channel"] = channel
+
+    @ecall
+    def has_peer_channel(self, peer: str) -> bool:
+        return peer in self.trusted["peer_channels"]
+
+    @ecall
+    def has_engine_channel(self) -> bool:
+        return self.trusted["engine_channel"] is not None
+
+    @ecall
+    def drop_peer_channel(self, peer: str) -> None:
+        """Forget a (blacklisted) peer's channel."""
+        self.trusted["peer_channels"].pop(peer, None)
+
+    # -- past-queries table -------------------------------------------------
+
+    @ecall
+    def seed_table(self, queries: List[str]) -> int:
+        """Bootstrap the fake-query table (§V-D, trending queries)."""
+        table: PastQueryTable = self.trusted["table"]
+        grew = table.extend(queries)
+        if grew:
+            self.trusted_alloc(grew * self._bytes_per_entry)
+        return grew
+
+    @ecall
+    def table_size(self) -> int:
+        return len(self.trusted["table"])
+
+    @ecall
+    def seal_table(self, sealing_service) -> "object":
+        """Persist the past-queries table to untrusted storage.
+
+        The blob is sealed to this enclave's measurement on this
+        platform: the browser can stash it on disk across restarts, but
+        neither the host nor a different enclave build can read other
+        users' queries out of it.
+        """
+        table: PastQueryTable = self.trusted["table"]
+        payload = wire.encode(table.entries())
+        self.charge_crypto(len(payload), operations=1)
+        return sealing_service.seal(type(self).measurement(), payload,
+                                    rng=self._rng)
+
+    @ecall
+    def unseal_table(self, sealing_service, blob) -> int:
+        """Restore a previously sealed table; returns entries restored.
+
+        Raises :class:`repro.sgx.sealing.SealingError` when the blob was
+        sealed by a different enclave build or platform.
+        """
+        payload = sealing_service.unseal(type(self).measurement(), blob)
+        self.charge_crypto(len(payload), operations=1)
+        entries = wire.decode(payload)
+        table: PastQueryTable = self.trusted["table"]
+        grew = table.extend(entries)
+        if grew:
+            self.trusted_alloc(grew * self._bytes_per_entry)
+        return grew
+
+    def _evict_stale(self, store_key: str) -> None:
+        """Drop oldest entries once a per-record store exceeds the cap.
+
+        Python dicts preserve insertion order, so the first keys are
+        the oldest; real enclave code would do the same with an
+        intrusive FIFO.
+        """
+        store = self.trusted[store_key]
+        while len(store) > self.MAX_PENDING:
+            oldest = next(iter(store))
+            del store[oldest]
+
+    # -- client side: query protection (§V-C) -------------------------------
+
+    @ecall
+    def build_protected_batch(self, query: str, k: int, relays: List[str],
+                              true_user: Optional[str] = None
+                              ) -> List[Tuple[str, bytes]]:
+        """Produce one sealed forward record per relay.
+
+        ``relays`` must contain ``k + 1`` addresses with installed
+        channels. One random relay carries the real query; each other
+        relay carries a distinct fake drawn from the past-queries
+        table. Which relay got the real query is recorded *only* in
+        enclave state, keyed by per-record tokens.
+
+        Returns ``[(relay_address, sealed_record), ...]`` in randomized
+        dispatch order.
+        """
+        if len(relays) != k + 1:
+            raise ValueError(f"need exactly k+1={k + 1} relays, got {len(relays)}")
+        channels: Dict[str, SecureChannel] = self.trusted["peer_channels"]
+        missing = [relay for relay in relays if relay not in channels]
+        if missing:
+            raise KeyError(f"no attested channel with relays {missing}")
+
+        table: PastQueryTable = self.trusted["table"]
+        fakes = table.sample(k, self._rng, exclude=query)
+        # A sparsely seeded table may not have k distinct fakes yet;
+        # reuse trending-style duplicates rather than under-protect.
+        while len(fakes) < k and fakes:
+            fakes.append(self._rng.choice(fakes))
+        if len(fakes) < k:
+            fakes = [query] * 0  # empty table: degrade to k=0
+        relays = list(relays)
+        self._rng.shuffle(relays)
+        real_relay = relays[0] if not fakes else self._rng.choice(relays)
+
+        batch: List[Tuple[str, bytes]] = []
+        pending: Dict[str, Dict[str, Any]] = self.trusted["pending"]
+        fake_iter = iter(fakes)
+        for relay in relays:
+            token = f"t{next(self._token_counter):08d}"
+            if relay == real_relay:
+                text, is_fake = query, False
+            else:
+                try:
+                    text, is_fake = next(fake_iter), True
+                except StopIteration:
+                    continue  # table under-filled: fewer fakes than k
+            record = _pad_record({
+                "token": token,
+                "query": text,
+                "meta": {"true_user": true_user, "is_fake": is_fake},
+            })
+            pending[token] = {
+                "real": not is_fake,
+                "relay": relay,
+                "query": query,
+            }
+            sealed = channels[relay].seal(record, rng=self._rng)
+            self.charge_crypto(len(sealed), operations=1)
+            batch.append((relay, sealed))
+        self._evict_stale("pending")
+        return batch
+
+    @ecall
+    def rebuild_real(self, token: str, new_relay: str) -> Tuple[str, bytes]:
+        """Re-issue the real query through *new_relay* after its original
+        relay timed out (§VI-b blacklisting + retry)."""
+        pending: Dict[str, Dict[str, Any]] = self.trusted["pending"]
+        entry = pending.pop(token, None)
+        if entry is None or not entry["real"]:
+            raise KeyError("token is not a pending real query")
+        channels = self.trusted["peer_channels"]
+        if new_relay not in channels:
+            raise KeyError(f"no attested channel with {new_relay}")
+        new_token = f"t{next(self._token_counter):08d}"
+        record = _pad_record({
+            "token": new_token,
+            "query": entry["query"],
+            "meta": {"true_user": None, "is_fake": False},
+        })
+        pending[new_token] = {
+            "real": True, "relay": new_relay, "query": entry["query"],
+        }
+        sealed = channels[new_relay].seal(record, rng=self._rng)
+        return new_token, sealed
+
+    @ecall
+    def pending_token_for_relay(self, relay: str) -> Optional[str]:
+        """The real-query token currently assigned to *relay*, if any."""
+        for token, entry in self.trusted["pending"].items():
+            if entry["relay"] == relay and entry["real"]:
+                return token
+        return None
+
+    @ecall
+    def open_relay_response(self, relay: str, sealed: bytes
+                            ) -> Optional[Dict[str, Any]]:
+        """Decrypt a relay's response; surface it only for the real query.
+
+        Returns ``{"hits": [...], "query": ...}`` when the response
+        answers the user's real query, ``None`` when it answered a fake
+        (dropped inside the enclave, §IV step 8) or fails to decrypt.
+        """
+        channels: Dict[str, SecureChannel] = self.trusted["peer_channels"]
+        channel = channels.get(relay)
+        if channel is None:
+            return None
+        try:
+            response = channel.open(sealed)
+        except TlsError:
+            return None
+        self.charge_crypto(len(sealed), operations=1)
+        token = response.get("token")
+        pending: Dict[str, Dict[str, Any]] = self.trusted["pending"]
+        entry = pending.pop(token, None)
+        if entry is None:
+            return None
+        if not entry["real"]:
+            return None  # fake-query response: silently dropped
+        return {
+            "query": entry["query"],
+            "status": response.get("status", "ok"),
+            "hits": response.get("hits", []),
+        }
+
+    # -- relay side: forwarding (§V-C) ---------------------------------------
+
+    @ecall
+    def unwrap_forward(self, src: str, sealed: bytes
+                       ) -> Optional[Tuple[int, bytes]]:
+        """Relay step: decrypt a peer's record, store its query in the
+        past-queries table, and re-seal it for the search engine.
+
+        Returns ``(handle, sealed_for_engine)``; the untrusted host
+        ships the sealed bytes to the engine and later exchanges the
+        handle for the sealed response via :meth:`wrap_relay_response`.
+        Returns ``None`` if the source has no attested channel or the
+        record fails authentication.
+        """
+        channels: Dict[str, SecureChannel] = self.trusted["peer_channels"]
+        channel = channels.get(src)
+        engine: Optional[SecureChannel] = self.trusted["engine_channel"]
+        if channel is None or engine is None:
+            return None
+        try:
+            record = channel.open(sealed)
+        except TlsError:
+            return None
+        self.charge_crypto(len(sealed), operations=1)
+        # §V-C: "Once a proxy receives a query forwarding request, it
+        # adds this query in its local table of past queries". Real and
+        # fake queries are treated identically — the relay cannot tell.
+        table: PastQueryTable = self.trusted["table"]
+        if table.add(record["query"]):
+            self.trusted_alloc(self._bytes_per_entry)
+        handle = next(self._token_counter)
+        self.trusted["forwards"][handle] = {
+            "src": src,
+            "token": record["token"],
+        }
+        self._evict_stale("forwards")
+        sealed_for_engine = engine.seal(
+            {"query": record["query"], "meta": record.get("meta") or {}},
+            rng=self._rng)
+        self.charge_crypto(len(sealed_for_engine), operations=1)
+        return handle, sealed_for_engine
+
+    @ecall
+    def wrap_relay_response(self, handle: int, sealed_engine_response: bytes
+                            ) -> Optional[Tuple[str, bytes]]:
+        """Relay step: decrypt the engine's answer and re-seal it for the
+        original requester. Returns ``(requester_address, sealed)``."""
+        forward = self.trusted["forwards"].pop(handle, None)
+        engine: Optional[SecureChannel] = self.trusted["engine_channel"]
+        if forward is None or engine is None:
+            return None
+        try:
+            engine_response = engine.open(sealed_engine_response)
+        except TlsError:
+            return None
+        self.charge_crypto(len(sealed_engine_response), operations=1)
+        channels: Dict[str, SecureChannel] = self.trusted["peer_channels"]
+        channel = channels.get(forward["src"])
+        if channel is None:
+            return None
+        response = {
+            "token": forward["token"],
+            "status": engine_response.get("status", "ok"),
+            "hits": engine_response.get("hits", []),
+        }
+        sealed = channel.seal(response, rng=self._rng)
+        self.charge_crypto(len(sealed), operations=1)
+        return forward["src"], sealed

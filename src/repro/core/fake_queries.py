@@ -1,0 +1,73 @@
+"""The past-queries table: CYCLOSA's fake-query source (§IV, §V-C, §V-D).
+
+Fake queries are *real past queries of other users*, observed while
+this node relayed for them and stored in enclave memory. That makes
+fakes statistically indistinguishable from real traffic — the decisive
+advantage over RSS/dictionary-generated fakes (TrackMeNot, GooPIR),
+measured in Fig 5.
+
+The table is a bounded FIFO with de-duplication. When empty at start-up
+it is seeded from trending queries (§V-D). It lives in enclave memory:
+the owner of the machine never sees other users' queries in plain text.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, List, Optional
+
+
+class PastQueryTable:
+    """Bounded, de-duplicating FIFO of query strings."""
+
+    def __init__(self, capacity: int = 2000) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, None]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, query: str) -> bool:
+        return query in self._entries
+
+    def add(self, query: str) -> bool:
+        """Insert one query; returns True if the table grew (i.e. the
+        entry is new — callers use this to charge EPC for new entries).
+
+        A repeated query is refreshed to the back of the FIFO so hot
+        queries stay available as fakes.
+        """
+        query = query.strip()
+        if not query:
+            return False
+        if query in self._entries:
+            self._entries.move_to_end(query)
+            return False
+        grew = True
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            grew = False  # net memory unchanged: one in, one out
+        self._entries[query] = None
+        return grew
+
+    def extend(self, queries: Iterable[str]) -> int:
+        """Insert many; returns the number of net-new entries."""
+        return sum(1 for query in queries if self.add(query))
+
+    def sample(self, count: int, rng,
+               exclude: Optional[str] = None) -> List[str]:
+        """Draw up to *count* distinct queries uniformly at random.
+
+        *exclude* removes the user's own real query from candidates so a
+        fake never duplicates the query it is protecting.
+        """
+        candidates = [q for q in self._entries if q != exclude]
+        if count >= len(candidates):
+            return candidates
+        return rng.sample(candidates, count)
+
+    def entries(self) -> List[str]:
+        """Snapshot of the table contents (oldest first)."""
+        return list(self._entries)

@@ -1,0 +1,397 @@
+"""The CYCLOSA node: browser extension + enclave (§IV, §V).
+
+One node plays both roles of the protocol:
+
+- **Client**: assess the local user's query sensitivity (outside the
+  enclave — it only involves the user's own data), pick ``k + 1``
+  random relays from the peer-sampling view, have the enclave build one
+  sealed record per relay (real query to one, indistinguishable fakes
+  to the others), dispatch them, and surface only the real query's
+  results.
+- **Relay**: accept sealed records from attested peers, let the enclave
+  store the query and re-seal it for the engine, forward, and route the
+  sealed answer back. The relay host never sees any plaintext.
+
+Failure handling follows §VI-b: a relay that does not respond within
+the timeout is blacklisted (dropped from the view and its channel
+forgotten) and the real query is retried through a different peer.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.adaptive import choose_k
+from repro.core.config import CyclosaConfig
+from repro.core.enclave import CyclosaEnclave
+from repro.core.sensitivity import (
+    LinkabilityAssessor,
+    SemanticAssessor,
+    SensitivityAnalysis,
+)
+from repro.gossip.bootstrap_repo import PublicRepository
+from repro.gossip.peer_sampling import PeerSamplingService
+from repro.net.transport import Network, NetNode, RequestContext
+from repro.net.tls import SecureChannelManager, SgxAuthenticator, SignatureAuthenticator
+from repro.sgx.attestation import IntelAttestationService, MeasurementPolicy
+from repro.sgx.enclave import EnclaveHost
+
+FORWARD_KIND = "cyclosa.fwd"
+
+
+@dataclass
+class CyclosaServices:
+    """Deployment-wide services every node shares."""
+
+    ias: IntelAttestationService
+    policy: MeasurementPolicy
+    repository: PublicRepository
+    engine_address: str
+    bootstrap_queries: List[str] = field(default_factory=list)
+
+
+@dataclass
+class NodeStats:
+    """Per-node counters surfaced to the experiments."""
+
+    queries_issued: int = 0
+    fakes_sent: int = 0
+    relayed: int = 0
+    retries: int = 0
+    blacklisted_peers: int = 0
+
+
+@dataclass
+class ProtectedSearch:
+    """Book-keeping for one in-flight protected query."""
+
+    query: str
+    k: int
+    issued_at: float
+    on_result: Callable[[Dict[str, Any]], None]
+    retries_left: int
+    real_token: Optional[str] = None
+    done: bool = False
+
+
+class CyclosaNode(NetNode):
+    """One participant: untrusted extension code + trusted enclave."""
+
+    _ids = itertools.count()
+
+    def __init__(self, network: Network, address: str, rng,
+                 config: CyclosaConfig, services: CyclosaServices,
+                 semantic: Optional[SemanticAssessor] = None,
+                 user_id: Optional[str] = None) -> None:
+        super().__init__(network, address)
+        self.rng = rng
+        self.config = config
+        self.services = services
+        self.user_id = user_id or address
+        self.stats = NodeStats()
+
+        # -- trusted side ------------------------------------------------
+        self.host = EnclaveHost(rng)
+        self.enclave: CyclosaEnclave = self.host.create_enclave(
+            CyclosaEnclave,
+            table_capacity=config.table_capacity,
+            bytes_per_table_entry=config.bytes_per_table_entry)
+        services.ias.provision_host(self.host)
+
+        # -- channel managers ---------------------------------------------
+        # Peer channels require mutual remote attestation (§V-D); keys
+        # land inside the enclave on establishment, both directions.
+        self.peer_tls = SecureChannelManager(
+            self,
+            SgxAuthenticator(self.enclave, self.host, services.ias,
+                             services.policy),
+            rng, kind="atls",
+            on_established=lambda ch: self.enclave.install_peer_channel(
+                ch.peer, ch))
+        # The engine channel is ordinary server-auth TLS, terminated
+        # inside the enclave (§V-F).
+        self.engine_tls = SecureChannelManager(
+            self,
+            SignatureAuthenticator(self.enclave.identity),
+            rng, kind="tls",
+            on_established=lambda ch: self.enclave.install_engine_channel(ch))
+
+        # -- overlay -----------------------------------------------------
+        self.pss = PeerSamplingService(
+            self, rng, view_size=config.view_size,
+            interval=config.gossip_interval)
+
+        # -- sensitivity (untrusted: local user's own data, §IV) ----------
+        self.sensitivity = SensitivityAnalysis(
+            semantic=semantic or SemanticAssessor(),
+            linkability=LinkabilityAssessor(alpha=config.smoothing_alpha))
+
+        # -- sealed persistence -------------------------------------------
+        from repro.sgx.sealing import SealingService
+
+        self.sealing = SealingService(self.host.platform_id, rng)
+
+        self._searches: Dict[str, ProtectedSearch] = {}
+
+    # ------------------------------------------------------------------
+    # bootstrap
+    # ------------------------------------------------------------------
+
+    def bootstrap(self) -> None:
+        """Join the overlay: publish, seed the view and the fake table,
+        start gossip, open the engine channel (§V-D)."""
+        repo = self.services.repository
+        self.pss.bootstrap(repo.sample(self.config.bootstrap_sample,
+                                       exclude=[self.address]))
+        repo.publish(self.address)
+        self.pss.start()
+        if self.services.bootstrap_queries:
+            self.enclave.seed_table(
+                list(self.services.bootstrap_queries[: self.config.bootstrap_trends]))
+        self.engine_tls.establish(
+            self.services.engine_address,
+            on_ready=lambda channel: None)
+
+    def preload_history(self, queries: List[str]) -> None:
+        """Load the user's pre-CYCLOSA search history (the linkability
+        assessment compares new queries against it, §V-A2)."""
+        for query in queries:
+            self.sensitivity.remember(query)
+
+    def persist_table(self):
+        """Seal the enclave's past-queries table for storage across
+        browser restarts. Returns an opaque blob the untrusted host can
+        keep on disk but cannot read."""
+        return self.enclave.seal_table(self.sealing)
+
+    def restore_table(self, blob) -> int:
+        """Restore a sealed table blob; returns entries restored."""
+        return self.enclave.unseal_table(self.sealing, blob)
+
+    # ------------------------------------------------------------------
+    # client side
+    # ------------------------------------------------------------------
+
+    def search(self, query: str,
+               on_result: Callable[[Dict[str, Any]], None],
+               k_override: Optional[int] = None) -> int:
+        """Issue one protected search; *on_result* receives a dict with
+        ``query``, ``k``, ``hits``, ``latency`` and ``status``.
+
+        Returns the chosen ``k`` (useful to experiments). Pass
+        *k_override* to bypass the adaptive rule (the latency sweeps of
+        Fig 8b fix k explicitly).
+        """
+        if k_override is not None:
+            k = k_override
+        else:
+            report = self.sensitivity.assess(query)
+            k = choose_k(report, self.config.kmax)
+        self.sensitivity.remember(query)
+        self.stats.queries_issued += 1
+
+        # The enclave can only produce as many distinct fakes as its
+        # table holds; clamp k so relay selection matches.
+        k = min(k, self.enclave.table_size())
+
+        search = ProtectedSearch(
+            query=query, k=k, issued_at=self.network.simulator.now,
+            on_result=on_result, retries_left=self.config.max_retries)
+        self._select_relays_and_dispatch(search)
+        return k
+
+    # -- relay selection -------------------------------------------------
+
+    def _select_relays_and_dispatch(self, search: ProtectedSearch) -> None:
+        needed = search.k + 1
+        relays = self.pss.random_peers(needed, exclude=[self.address])
+        if not relays:
+            self._finish(search, status="no-peers", hits=[])
+            return
+        if len(relays) < needed:
+            # Small view: degrade protection rather than fail (§V-C
+            # always sends the real query).
+            search.k = len(relays) - 1
+        self._ensure_channels(
+            relays[: search.k + 1],
+            lambda ready: self._dispatch(search, ready))
+
+    def _ensure_channels(self, relays: List[str],
+                         proceed: Callable[[List[str]], None]) -> None:
+        """Attest-and-connect any relay we lack a channel with, then
+        call *proceed* with those that succeeded."""
+        missing = [r for r in relays if not self.enclave.has_peer_channel(r)]
+        if not missing:
+            proceed(relays)
+            return
+        outcome = {"waiting": len(missing), "failed": set()}
+
+        def settle(peer: str, ok: bool) -> None:
+            if not ok:
+                outcome["failed"].add(peer)
+                self._blacklist(peer)
+            outcome["waiting"] -= 1
+            if outcome["waiting"] == 0:
+                ready = [r for r in relays if r not in outcome["failed"]]
+                proceed(ready)
+
+        for peer in missing:
+            self.peer_tls.establish(
+                peer,
+                on_ready=lambda ch, p=peer: settle(p, True),
+                on_fail=lambda reason, p=peer: settle(p, False),
+                timeout=self.config.relay_timeout)
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _dispatch(self, search: ProtectedSearch, relays: List[str]) -> None:
+        if search.done:
+            return
+        if not relays:
+            self._finish(search, status="no-peers", hits=[])
+            return
+        k = len(relays) - 1
+        search.k = min(search.k, k)
+        batch = self.enclave.build_protected_batch(
+            search.query, search.k, relays[: search.k + 1],
+            true_user=self.user_id)
+        self.stats.fakes_sent += max(0, len(batch) - 1)
+        # Enclave crypto cost + per-record client overhead stagger the
+        # sends — this serialization is why latency grows with k (Fig 8b).
+        delay = self.host.meter.take()
+        for relay, sealed in batch:
+            delay += self.config.client_request_overhead
+            token = self.enclave.pending_token_for_relay(relay)
+            is_real = token is not None
+            if is_real:
+                search.real_token = token
+            self.network.simulator.schedule(
+                delay,
+                lambda r=relay, s=sealed, real=is_real: self._send_record(
+                    search, r, s, real))
+
+    def _send_record(self, search: ProtectedSearch, relay: str,
+                     sealed: bytes, is_real: bool) -> None:
+        if search.done:
+            return
+
+        def on_reply(payload: Any) -> None:
+            self._on_relay_response(search, relay, payload)
+
+        def on_timeout() -> None:
+            self._on_relay_timeout(search, relay, is_real)
+
+        self.request(relay, sealed, on_reply,
+                     timeout=self.config.relay_timeout * 4,
+                     on_timeout=on_timeout,
+                     size_bytes=len(sealed), kind=FORWARD_KIND)
+
+    # -- responses ---------------------------------------------------------
+
+    def _on_relay_response(self, search: ProtectedSearch, relay: str,
+                           payload: Any) -> None:
+        if not isinstance(payload, (bytes, bytearray)):
+            return
+        result = self.enclave.open_relay_response(relay, bytes(payload))
+        if result is None:
+            return  # fake-query response or undecodable: dropped in-enclave
+        if search.done:
+            return
+        self._finish(search, status=result["status"], hits=result["hits"])
+
+    def _on_relay_timeout(self, search: ProtectedSearch, relay: str,
+                          is_real: bool) -> None:
+        self._blacklist(relay)
+        if not is_real or search.done:
+            return
+        if search.retries_left <= 0 or search.real_token is None:
+            self._finish(search, status="relay-failure", hits=[])
+            return
+        search.retries_left -= 1
+        self.stats.retries += 1
+        replacements = self.pss.random_peers(1, exclude=[self.address, relay])
+        if not replacements:
+            self._finish(search, status="no-peers", hits=[])
+            return
+        replacement = replacements[0]
+
+        def retry(ready: List[str]) -> None:
+            if not ready or search.done:
+                if not search.done and search.retries_left <= 0:
+                    self._finish(search, status="relay-failure", hits=[])
+                return
+            token, sealed = self.enclave.rebuild_real(
+                search.real_token, ready[0])
+            search.real_token = token
+            cost = self.host.meter.take()
+            self.network.simulator.schedule(
+                cost + self.config.client_request_overhead,
+                lambda: self._send_record(search, ready[0], sealed, True))
+
+        self._ensure_channels([replacement], retry)
+
+    def _finish(self, search: ProtectedSearch, status: str,
+                hits: List[Dict[str, Any]]) -> None:
+        search.done = True
+        search.on_result({
+            "query": search.query,
+            "k": search.k,
+            "status": status,
+            "hits": hits,
+            "latency": self.network.simulator.now - search.issued_at,
+        })
+
+    def _blacklist(self, peer: str) -> None:
+        """§VI-b: blacklist peers that do not respond in time."""
+        self.pss.view.remove(peer)
+        self.enclave.drop_peer_channel(peer)
+        self.stats.blacklisted_peers += 1
+
+    # ------------------------------------------------------------------
+    # relay side
+    # ------------------------------------------------------------------
+
+    def handle_request(self, ctx: RequestContext) -> None:
+        if self.pss.handle_request(ctx):
+            return
+        if self.peer_tls.handle_handshake(ctx):
+            return
+        if ctx.request.kind == f"{FORWARD_KIND}.req":
+            self._handle_forward(ctx)
+        # anything else: drop silently
+
+    def _handle_forward(self, ctx: RequestContext) -> None:
+        payload = ctx.request.payload
+        if not isinstance(payload, (bytes, bytearray)):
+            return
+        unwrapped = self.enclave.unwrap_forward(ctx.request.src, bytes(payload))
+        if unwrapped is None:
+            return  # unauthenticated or tampered: a Byzantine peer learns nothing
+        handle, sealed_for_engine = unwrapped
+        self.stats.relayed += 1
+        cost = self.host.meter.take()
+
+        def forward_to_engine() -> None:
+            self.request(
+                self.services.engine_address, sealed_for_engine,
+                on_reply=lambda response: self._relay_engine_reply(
+                    ctx, handle, response),
+                timeout=60.0,
+                size_bytes=len(sealed_for_engine),
+                kind="searchtls")
+
+        self.network.simulator.schedule(cost, forward_to_engine)
+
+    def _relay_engine_reply(self, ctx: RequestContext, handle: int,
+                            response: Any) -> None:
+        if not isinstance(response, (bytes, bytearray)):
+            return
+        wrapped = self.enclave.wrap_relay_response(handle, bytes(response))
+        if wrapped is None:
+            return
+        _src, sealed = wrapped
+        cost = self.host.meter.take()
+        self.network.simulator.schedule(
+            cost, lambda: ctx.respond(sealed, size_bytes=len(sealed)))

@@ -1,0 +1,56 @@
+"""Key containers: node identities and symmetric keys.
+
+Every simulated node (CYCLOSA peers, TOR relays, PEAS servers, the
+search engine front-end) owns an :class:`IdentityKeyPair` — a long-term
+RSA signing/decryption key plus a stable fingerprint used as its wire
+identity in directories, gossip descriptors and attestation reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.aead import AeadKey
+from repro.crypto.hashes import hkdf
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey
+
+
+@dataclass(frozen=True)
+class SymmetricKey:
+    """A labelled symmetric key with cheap sub-key derivation."""
+
+    key: bytes
+    label: str = "unlabelled"
+
+    def derive(self, purpose: str) -> "SymmetricKey":
+        """Derive an independent sub-key for *purpose*."""
+        material = hkdf(self.key, purpose.encode("utf-8"), len(self.key))
+        return SymmetricKey(key=material, label=f"{self.label}/{purpose}")
+
+    def as_aead(self) -> AeadKey:
+        """View this key as an AEAD key (must be 32 bytes)."""
+        return AeadKey(self.key)
+
+
+@dataclass(frozen=True)
+class IdentityKeyPair:
+    """A node's long-term identity: RSA key pair + fingerprint."""
+
+    rsa: RsaKeyPair
+    fingerprint: bytes = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "fingerprint", self.rsa.public.fingerprint())
+
+    @classmethod
+    def generate(cls, bits: int = 1024, rng=None) -> "IdentityKeyPair":
+        """Generate a fresh identity (deterministic when *rng* is seeded)."""
+        return cls(rsa=RsaKeyPair.generate(bits=bits, rng=rng))
+
+    @property
+    def public(self) -> RsaPublicKey:
+        return self.rsa.public
+
+    def short_id(self) -> str:
+        """Human-readable 8-hex-char identity, for logs and test output."""
+        return self.fingerprint[:4].hex()

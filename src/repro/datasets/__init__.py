@@ -1,0 +1,42 @@
+"""Dataset substrate: synthetic workloads replacing proprietary data.
+
+The paper evaluates on the AOL query log (21 M queries, 650 k users) and
+bootstraps fake-query tables from Google Trends. Neither is shippable,
+so this package generates statistically equivalent synthetic material:
+
+- :mod:`repro.datasets.vocabulary` — topic vocabularies (four sensitive
+  topics per Google's privacy policy: health, sex, politics, religion;
+  plus eight neutral topics and a shared general vocabulary).
+- :mod:`repro.datasets.aol`        — the synthetic AOL-like log: users
+  with Zipf activity and Dirichlet interest profiles, queries drawn
+  from per-user term preferences, ground-truth sensitivity labels at
+  the paper's crowd-sourced 15.74 % rate (§VII-C).
+- :mod:`repro.datasets.trends`     — "Google Trends"-style popular
+  seed queries for bootstrapping past-query tables (§V-D).
+- :mod:`repro.datasets.split`      — the 2/3 train (adversary prior) /
+  1/3 test split of §VII-B.
+"""
+
+from repro.datasets.aol import QueryRecord, SyntheticAolLog, generate_aol_log
+from repro.datasets.split import train_test_split
+from repro.datasets.trends import trending_queries
+from repro.datasets.vocabulary import (
+    ALL_TOPICS,
+    NEUTRAL_TOPICS,
+    SENSITIVE_TOPICS,
+    TopicVocabulary,
+    build_topic_vocabularies,
+)
+
+__all__ = [
+    "QueryRecord",
+    "SyntheticAolLog",
+    "generate_aol_log",
+    "train_test_split",
+    "trending_queries",
+    "ALL_TOPICS",
+    "NEUTRAL_TOPICS",
+    "SENSITIVE_TOPICS",
+    "TopicVocabulary",
+    "build_topic_vocabularies",
+]

@@ -1,0 +1,48 @@
+"""Bootstrap seed queries ("Google Trends").
+
+When a CYCLOSA node first starts, its enclave past-queries table is
+empty and there is nothing plausible to send as fakes. The paper (§V-D)
+seeds the table from Google Trends — popular queries issued by real
+users about trendy topics. This module synthesises the equivalent: a
+pool of popular-looking queries drawn from the *neutral* topic
+vocabularies (trending queries are overwhelmingly entertainment, sports,
+technology and shopping).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.datasets.vocabulary import (
+    GENERAL_TERMS,
+    NEUTRAL_TOPICS,
+    build_topic_vocabularies,
+)
+
+
+def trending_queries(count: int = 50, seed: int = 2017) -> List[str]:
+    """Return *count* synthetic trending queries.
+
+    Deterministic for a given (count, seed): every node bootstrapping
+    from "the same day's trends" sees the same pool, like the real
+    service.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    rng = random.Random(seed)
+    vocabularies = build_topic_vocabularies()
+    queries: List[str] = []
+    seen = set()
+    while len(queries) < count:
+        topic = rng.choice(list(NEUTRAL_TOPICS))
+        seeds = vocabularies[topic].seeds
+        length = rng.choice([1, 2, 2, 3])
+        terms = rng.sample(list(seeds), k=min(length, len(seeds)))
+        if rng.random() < 0.35:
+            terms.append(rng.choice(GENERAL_TERMS))
+        text = " ".join(terms)
+        if text not in seen:
+            seen.add(text)
+            queries.append(text)
+    return queries

@@ -1,0 +1,211 @@
+"""Topic vocabularies for the synthetic workload.
+
+Four *sensitive* topics follow Google's privacy-policy definition cited
+in §V-A1 ("confidential medical facts, racial or ethnic origins,
+political or religious beliefs or sexuality"); eight *neutral* topics
+cover the bulk of ordinary web-search traffic. Each topic has a curated
+seed list of real English terms, programmatically expanded with
+morphological variants and numbered long-tail terms so vocabularies are
+large enough for Zipf sampling to give users distinguishable term
+preferences (which is what SimAttack exploits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+SENSITIVE_TOPICS: Tuple[str, ...] = ("health", "sex", "politics", "religion")
+NEUTRAL_TOPICS: Tuple[str, ...] = (
+    "sports", "technology", "travel", "shopping",
+    "entertainment", "finance", "food", "education",
+)
+ALL_TOPICS: Tuple[str, ...] = SENSITIVE_TOPICS + NEUTRAL_TOPICS
+
+_SEED_TERMS: Dict[str, List[str]] = {
+    "health": [
+        "symptoms", "diagnosis", "treatment", "cancer", "diabetes",
+        "depression", "anxiety", "therapy", "medication", "dosage",
+        "pregnancy", "fertility", "infection", "virus", "vaccine",
+        "allergy", "asthma", "arthritis", "insomnia", "migraine",
+        "cholesterol", "hypertension", "obesity", "anorexia", "bulimia",
+        "hiv", "hepatitis", "tumor", "chemotherapy", "radiology",
+        "cardiology", "dermatology", "psychiatrist", "antidepressant",
+        "painkiller", "rehab", "addiction", "withdrawal", "overdose",
+        "clinic", "hospital", "surgeon", "biopsy", "remission", "relapse",
+    ],
+    "sex": [
+        "dating", "erotic", "intimacy", "libido", "contraception",
+        "condom", "orientation", "gay", "lesbian", "bisexual",
+        "transgender", "fetish", "lingerie", "seduction", "affair",
+        "escort", "swinger", "nude", "adult", "explicit",
+        "sensual", "arousal", "orgasm", "viagra", "impotence",
+        "chlamydia", "gonorrhea", "syphilis", "herpes", "abstinence",
+        "polyamory", "kink", "bondage", "stripper", "webcam",
+        "hookup", "flirting", "romance", "passion", "desire",
+    ],
+    "politics": [
+        "election", "senator", "congress", "democrat", "republican",
+        "liberal", "conservative", "campaign", "ballot", "vote",
+        "immigration", "abortion", "gun", "policy", "legislation",
+        "impeachment", "lobbyist", "caucus", "primary", "debate",
+        "socialism", "capitalism", "anarchist", "activist", "protest",
+        "petition", "referendum", "parliament", "governor", "mayor",
+        "taxation", "welfare", "medicare", "deficit", "filibuster",
+        "gerrymander", "electorate", "partisan", "ideology", "regime",
+    ],
+    "religion": [
+        "church", "mosque", "synagogue", "temple", "prayer",
+        "bible", "quran", "torah", "gospel", "scripture",
+        "christian", "muslim", "jewish", "buddhist", "hindu",
+        "catholic", "protestant", "baptist", "evangelical", "orthodox",
+        "atheist", "agnostic", "faith", "salvation", "baptism",
+        "communion", "pilgrimage", "ramadan", "easter", "passover",
+        "meditation", "karma", "reincarnation", "missionary", "sermon",
+        "theology", "pastor", "rabbi", "imam", "monastery",
+    ],
+    "sports": [
+        "football", "baseball", "basketball", "soccer", "hockey",
+        "tennis", "golf", "swimming", "marathon", "olympics",
+        "playoffs", "championship", "league", "tournament", "score",
+        "coach", "quarterback", "pitcher", "goalie", "referee",
+        "stadium", "ticket", "roster", "draft", "trade",
+        "workout", "fitness", "training", "cycling", "skiing",
+        "snowboard", "surfing", "boxing", "wrestling", "nascar",
+    ],
+    "technology": [
+        "laptop", "computer", "software", "hardware", "internet",
+        "browser", "download", "upload", "wireless", "router",
+        "printer", "monitor", "keyboard", "processor", "memory",
+        "storage", "backup", "antivirus", "firewall", "password",
+        "email", "website", "hosting", "domain", "server",
+        "programming", "database", "smartphone", "camera", "gadget",
+        "bluetooth", "firmware", "driver", "install", "upgrade",
+    ],
+    "travel": [
+        "flight", "airline", "airport", "hotel", "hostel",
+        "resort", "cruise", "vacation", "itinerary", "passport",
+        "visa", "luggage", "booking", "destination", "tourist",
+        "beach", "island", "mountain", "hiking", "camping",
+        "roadtrip", "rental", "train", "subway", "ferry",
+        "museum", "landmark", "sightseeing", "excursion", "safari",
+        "paris", "london", "tokyo", "orlando", "vegas",
+    ],
+    "shopping": [
+        "coupon", "discount", "clearance", "bargain", "auction",
+        "catalog", "retailer", "outlet", "warehouse", "delivery",
+        "shipping", "returns", "refund", "warranty", "review",
+        "furniture", "appliance", "clothing", "shoes", "handbag",
+        "jewelry", "watch", "perfume", "cosmetics", "toys",
+        "electronics", "grocery", "mall", "store", "checkout",
+        "wishlist", "giftcard", "sale", "price", "brand",
+    ],
+    "entertainment": [
+        "movie", "trailer", "cinema", "actor", "actress",
+        "celebrity", "gossip", "music", "concert", "album",
+        "lyrics", "guitar", "piano", "karaoke", "festival",
+        "television", "sitcom", "drama", "comedy", "thriller",
+        "horror", "animation", "cartoon", "videogame", "console",
+        "casino", "poker", "lottery", "magazine", "novel",
+        "theater", "ballet", "opera", "podcast", "streaming",
+    ],
+    "finance": [
+        "mortgage", "loan", "credit", "debit", "interest",
+        "savings", "checking", "investment", "stock", "bond",
+        "dividend", "portfolio", "retirement", "pension", "annuity",
+        "insurance", "premium", "deductible", "bankruptcy", "foreclosure",
+        "refinance", "equity", "broker", "trading", "currency",
+        "inflation", "recession", "budget", "salary", "paycheck",
+        "taxes", "audit", "accountant", "invoice", "payroll",
+    ],
+    "food": [
+        "recipe", "cooking", "baking", "grilling", "roasting",
+        "ingredient", "seasoning", "marinade", "dessert", "appetizer",
+        "restaurant", "takeout", "delivery", "buffet", "brunch",
+        "vegetarian", "vegan", "gluten", "organic", "nutrition",
+        "calories", "protein", "casserole", "lasagna", "sushi",
+        "pizza", "burger", "taco", "noodle", "curry",
+        "chocolate", "cheesecake", "smoothie", "espresso", "cocktail",
+    ],
+    "education": [
+        "college", "university", "tuition", "scholarship", "admission",
+        "transcript", "diploma", "degree", "major", "semester",
+        "professor", "lecture", "seminar", "homework", "essay",
+        "thesis", "dissertation", "exam", "quiz", "grading",
+        "kindergarten", "elementary", "highschool", "curriculum", "textbook",
+        "tutoring", "mentor", "internship", "graduate", "undergraduate",
+        "literacy", "mathematics", "chemistry", "physics", "biology",
+    ],
+}
+
+# Terms that appear across topics regardless of user interests — they
+# carry little identifying signal, like real query glue words.
+GENERAL_TERMS: List[str] = [
+    "best", "cheap", "free", "online", "near", "local", "top",
+    "guide", "help", "find", "compare", "pictures", "photos",
+    "video", "news", "reviews", "forum", "blog", "official",
+    "homepage", "phone", "address", "hours", "map", "directions",
+]
+
+_SUFFIXES = ["", "s", "ing", "ed", "er"]
+
+
+@dataclass(frozen=True)
+class TopicVocabulary:
+    """One topic's vocabulary: curated seeds plus expanded variants."""
+
+    topic: str
+    sensitive: bool
+    seeds: Tuple[str, ...]
+    terms: Tuple[str, ...]
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._term_set
+
+    @property
+    def _term_set(self):
+        # Cached lazily on the instance despite frozen dataclass.
+        cached = object.__getattribute__(self, "__dict__").get("_cache")
+        if cached is None:
+            cached = frozenset(self.terms)
+            object.__getattribute__(self, "__dict__")["_cache"] = cached
+        return cached
+
+
+def _expand(seed: str, extra_per_seed: int) -> List[str]:
+    """Morphological variants plus numbered long-tail terms."""
+    variants = []
+    for suffix in _SUFFIXES:
+        if suffix and seed.endswith(suffix[0]):
+            continue  # avoid awkward doubles like "newss"
+        variants.append(seed + suffix)
+    variants.extend(f"{seed}{index}" for index in range(1, extra_per_seed + 1))
+    return variants
+
+
+def build_topic_vocabularies(extra_per_seed: int = 2) -> Dict[str, TopicVocabulary]:
+    """Build the full vocabulary map used by the dataset generator.
+
+    *extra_per_seed* controls the number of numbered long-tail variants
+    per seed term; the default yields ~250 terms per topic, enough for
+    user-specific Zipf preferences to be separable.
+    """
+    vocabularies: Dict[str, TopicVocabulary] = {}
+    for topic, seeds in _SEED_TERMS.items():
+        terms: List[str] = []
+        for seed in seeds:
+            terms.extend(_expand(seed, extra_per_seed))
+        # Deduplicate preserving order.
+        seen = set()
+        unique_terms = []
+        for term in terms:
+            if term not in seen:
+                seen.add(term)
+                unique_terms.append(term)
+        vocabularies[topic] = TopicVocabulary(
+            topic=topic,
+            sensitive=topic in SENSITIVE_TOPICS,
+            seeds=tuple(seeds),
+            terms=tuple(unique_terms),
+        )
+    return vocabularies

@@ -1,0 +1,104 @@
+"""The calibration sweep behind the workload's two behavioural knobs.
+
+docs/workload.md documents that the generator's Zipf exponent and
+exploration rate were set against two anchors: the paper's TOR
+re-identification rate (36 %, Fig 5) and Fig 7's unlinkable-query mass
+(≈25 % at k = 0). This module *is* that sweep — rerunnable whenever the
+generator changes, so the calibration stays auditable instead of
+folklore:
+
+    python -m repro.experiments.calibration
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.attacks.profiles import build_profiles
+from repro.attacks.simattack import SimAttack
+from repro.baselines.tor import TorSearch
+from repro.datasets.aol import generate_aol_log
+from repro.datasets.split import train_test_split
+from repro.experiments.common import print_table
+from repro.metrics.privacy import reidentification_rate
+
+#: The paper anchors the knobs target.
+TOR_ANCHOR = 0.36       # Fig 5, TOR bar (= k=0 for the unlinkable systems)
+K0_ANCHOR = 0.25        # Fig 7, fraction of queries needing no fakes
+
+
+def measure_point(zipf_exponent: float, exploration_rate: float,
+                  num_users: int = 50, mean_queries: float = 60.0,
+                  seed: int = 0,
+                  max_queries: int = 1200) -> Dict[str, float]:
+    """One grid point: TOR re-identification and unlinkable mass."""
+    log = generate_aol_log(num_users=num_users,
+                           mean_queries_per_user=mean_queries,
+                           zipf_exponent=zipf_exponent,
+                           exploration_rate=exploration_rate,
+                           seed=seed)
+    train, test = train_test_split(log)
+    attack = SimAttack(build_profiles(train))
+    records = test.records[:max_queries]
+
+    tor = TorSearch(seed=seed)
+    observations = []
+    for record in records:
+        observations.extend(tor.protect(record.user_id, record.text))
+    tor_rate = reidentification_rate(attack, observations,
+                                     tor.attack_surface)
+
+    # The k=0 mass under pure linkability (semantic aside): queries the
+    # attack cannot attribute at all are the ones adaptive protection
+    # leaves unprotected.
+    unattributable = sum(
+        1 for record in records if attack.attribute(record.text) is None)
+    return {
+        "zipf": zipf_exponent,
+        "exploration": exploration_rate,
+        "tor_rate": tor_rate,
+        "unlinkable_mass": unattributable / max(1, len(records)),
+        "sensitive_rate": log.sensitive_rate(),
+    }
+
+
+def run(zipf_values: Sequence[float] = (1.05, 1.2, 1.35),
+        exploration_values: Sequence[float] = (0.10, 0.22, 0.35),
+        seed: int = 0, **kwargs) -> List[Dict[str, float]]:
+    """The full grid; rows carry per-point distances to the anchors."""
+    rows = []
+    for zipf in zipf_values:
+        for exploration in exploration_values:
+            point = measure_point(zipf, exploration, seed=seed, **kwargs)
+            point["anchor_distance"] = (
+                abs(point["tor_rate"] - TOR_ANCHOR)
+                + 0.5 * abs(point["unlinkable_mass"] - K0_ANCHOR))
+            rows.append(point)
+    return rows
+
+
+def best_point(rows: List[Dict[str, float]]) -> Dict[str, float]:
+    """The grid point closest to the paper anchors."""
+    return min(rows, key=lambda row: row["anchor_distance"])
+
+
+def main() -> None:
+    rows = run()
+    print_table(
+        "Calibration sweep — generator knobs vs paper anchors "
+        f"(TOR {TOR_ANCHOR:.0%}, k0 mass {K0_ANCHOR:.0%})",
+        ["zipf", "exploration", "TOR re-id", "unlinkable", "distance"],
+        [[f"{r['zipf']:.2f}", f"{r['exploration']:.2f}",
+          f"{r['tor_rate'] * 100:.1f} %",
+          f"{r['unlinkable_mass'] * 100:.1f} %",
+          f"{r['anchor_distance']:.3f}"] for r in rows])
+    chosen = best_point(rows)
+    print(f"\nclosest grid point: zipf={chosen['zipf']:.2f}, "
+          f"exploration={chosen['exploration']:.2f} "
+          f"(the shipped defaults, 1.20 / 0.22, were chosen at the "
+          f"paper's 100-user scale — attack rates grow with population, "
+          f"so re-run with num_users=100 before re-tuning)")
+
+
+if __name__ == "__main__":
+    main()

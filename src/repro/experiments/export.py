@@ -1,0 +1,168 @@
+"""Export figure/table data as CSV files.
+
+Downstream users who want to re-plot the paper's figures (matplotlib,
+gnuplot, a spreadsheet) get machine-readable series instead of printed
+tables: ``python -m repro.experiments.export --outdir results/`` writes
+one CSV per experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import os
+from typing import Dict, List, Optional, Sequence
+
+
+def _write_csv(path: str, header: Sequence[str],
+               rows: Sequence[Sequence[object]]) -> None:
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def export_table2(outdir: str, **kwargs) -> str:
+    from repro.experiments.table2_categorizer import run
+
+    results = run(**kwargs)
+    path = os.path.join(outdir, "table2_categorizer.csv")
+    _write_csv(path, ["semantic_tool", "precision", "recall"],
+               [[name, f"{p:.4f}", f"{r:.4f}"]
+                for name, (p, r) in results.items()])
+    return path
+
+
+def export_fig5(outdir: str, **kwargs) -> str:
+    from repro.experiments.fig5_reidentification import run
+
+    rates = run(**kwargs)
+    path = os.path.join(outdir, "fig5_reidentification.csv")
+    _write_csv(path, ["system", "reidentification_rate"],
+               [[name, f"{rate:.4f}"] for name, rate in rates.items()])
+    return path
+
+
+def export_fig6(outdir: str, **kwargs) -> str:
+    from repro.experiments.fig6_accuracy import run
+
+    results = run(**kwargs)
+    path = os.path.join(outdir, "fig6_accuracy.csv")
+    _write_csv(path, ["system", "correctness", "completeness"],
+               [[name, f"{score.correctness:.4f}",
+                 f"{score.completeness:.4f}"]
+                for name, score in results.items()])
+    return path
+
+
+def export_fig7(outdir: str, **kwargs) -> str:
+    from repro.experiments.fig7_adaptive_k import run
+
+    outcome = run(**kwargs)
+    path = os.path.join(outdir, "fig7_adaptive_k_cdf.csv")
+    _write_csv(path, ["k", "cdf"],
+               [[k, f"{fraction:.4f}"] for k, fraction in outcome["cdf"]])
+    return path
+
+
+def export_fig8a(outdir: str, **kwargs) -> str:
+    from repro.experiments.fig8a_latency import run
+    from repro.metrics.latencystats import cdf_points
+
+    samples = run(**kwargs)
+    path = os.path.join(outdir, "fig8a_latency_cdf.csv")
+    rows: List[List[object]] = []
+    quantiles = [i / 100.0 for i in range(1, 100)]
+    for name, latencies in samples.items():
+        for quantile, value in cdf_points(latencies, points=quantiles):
+            rows.append([name, f"{quantile:.2f}", f"{value:.6f}"])
+    _write_csv(path, ["system", "quantile", "latency_s"], rows)
+    return path
+
+
+def export_fig8b(outdir: str, **kwargs) -> str:
+    from repro.experiments.fig8b_k_latency import run
+    from repro.metrics.latencystats import cdf_points
+
+    samples = run(**kwargs)
+    path = os.path.join(outdir, "fig8b_k_latency_cdf.csv")
+    rows: List[List[object]] = []
+    quantiles = [i / 100.0 for i in range(1, 100)]
+    for k, latencies in samples.items():
+        for quantile, value in cdf_points(latencies, points=quantiles):
+            rows.append([k, f"{quantile:.2f}", f"{value:.6f}"])
+    _write_csv(path, ["k", "quantile", "latency_s"], rows)
+    return path
+
+
+def export_fig8c(outdir: str, **kwargs) -> str:
+    from repro.experiments.fig8c_throughput import run
+
+    results = run(**kwargs)
+    path = os.path.join(outdir, "fig8c_throughput.csv")
+    rows = []
+    for name, series in results.items():
+        for point in series:
+            rows.append([name, f"{point['rate']:.0f}",
+                         f"{point['median']:.6f}", f"{point['p90']:.6f}"])
+    _write_csv(path, ["system", "offered_req_s", "median_s", "p90_s"], rows)
+    return path
+
+
+def export_fig8d(outdir: str, **kwargs) -> str:
+    from repro.experiments.fig8d_ratelimit import run
+
+    outcome = run(**kwargs)
+    path = os.path.join(outdir, "fig8d_ratelimit.csv")
+    _write_csv(
+        path,
+        ["minute", "xsearch_admitted_per_h", "xsearch_rejected_per_h",
+         "cyclosa_mean_per_node_h", "cyclosa_max_per_node_h"],
+        [[f"{p['minute']:.0f}", f"{p['xsearch_admitted_per_h']:.1f}",
+          f"{p['xsearch_rejected_per_h']:.1f}",
+          f"{p['cyclosa_mean_per_node_h']:.2f}",
+          f"{p['cyclosa_max_per_node_h']:.1f}"]
+         for p in outcome["series"]])
+    return path
+
+
+EXPORTERS = {
+    "table2": export_table2,
+    "fig5": export_fig5,
+    "fig6": export_fig6,
+    "fig7": export_fig7,
+    "fig8a": export_fig8a,
+    "fig8b": export_fig8b,
+    "fig8c": export_fig8c,
+    "fig8d": export_fig8d,
+}
+
+
+def export_all(outdir: str, only: Optional[Sequence[str]] = None,
+               **kwargs) -> Dict[str, str]:
+    """Export every (or the selected) figure's data; returns paths."""
+    selected = dict(EXPORTERS)
+    if only:
+        unknown = set(only) - set(EXPORTERS)
+        if unknown:
+            raise ValueError(f"unknown exports: {sorted(unknown)}")
+        selected = {name: EXPORTERS[name] for name in only}
+    return {name: exporter(outdir, **kwargs)
+            for name, exporter in selected.items()}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="export experiment data as CSV")
+    parser.add_argument("--outdir", default="results")
+    parser.add_argument("--only", nargs="*", choices=sorted(EXPORTERS),
+                        help="subset of exports (default: all)")
+    args = parser.parse_args()
+    paths = export_all(args.outdir, only=args.only)
+    for name, path in paths.items():
+        print(f"{name:<8} -> {path}")
+
+
+if __name__ == "__main__":
+    main()

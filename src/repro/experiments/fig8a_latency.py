@@ -1,0 +1,172 @@
+"""Fig 8a: end-to-end latency CDFs for 200 queries, k = 3.
+
+Paper medians: Direct < X-Search 0.577 s < CYCLOSA 0.876 s ≪ TOR
+62.28 s (a 13× gap between CYCLOSA and TOR on average). The shapes
+come from the calibrated models: datacenter-grade paths for Direct and
+the X-Search proxy, residential peer links for CYCLOSA relays, and
+heavy-tailed volunteer circuits for TOR.
+
+Each system runs in its own deterministic simulation; queries are
+issued sequentially from one client, exactly like the paper's
+benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List
+
+from repro.baselines.direct import DirectClientNode
+from repro.baselines.tor import TorClientNode, build_tor_network
+from repro.baselines.xsearch import XSearchClientNode, XSearchEnclave, XSearchProxyNode
+from repro.core.client import CyclosaNetwork
+from repro.core.config import CyclosaConfig
+from repro.experiments.common import build_workload, print_table
+from repro.metrics.latencystats import cdf_points, summarize
+from repro.net.latency import LogNormalLatency
+from repro.net.simulator import Simulator
+from repro.net.transport import Network
+from repro.searchengine.corpus import build_corpus
+from repro.searchengine.engine import SearchEngine
+from repro.searchengine.node import SearchEngineNode
+from repro.sgx.attestation import IntelAttestationService, MeasurementPolicy
+
+PAPER_MEDIANS = {
+    "Direct": 0.4,
+    "X-Search": 0.577,
+    "CYCLOSA": 0.876,
+    "TOR": 62.28,
+}
+
+
+def _drive(simulator: Simulator, issue: Callable[[Callable], None],
+           num_queries: int, queries: List[str],
+           max_wait: float = 3600.0) -> List[float]:
+    """Issue queries sequentially; collect per-query latencies."""
+    latencies: List[float] = []
+    for index in range(num_queries):
+        holder: Dict[str, float] = {}
+        issue(queries[index % len(queries)], lambda r: holder.update(r))
+        deadline = simulator.now + max_wait
+        while "latency" not in holder and simulator.now < deadline:
+            if not simulator.step():
+                break
+        if "latency" in holder:
+            latencies.append(holder["latency"])
+    return latencies
+
+
+def _engine_setup(seed: int, config: CyclosaConfig):
+    rng = random.Random(seed)
+    simulator = Simulator()
+    network = Network(simulator, rng, default_latency=LogNormalLatency(
+        median=config.peer_link_median, sigma=config.peer_link_sigma))
+    engine_node = SearchEngineNode(
+        network, SearchEngine(build_corpus(seed=seed)), rng,
+        processing=LogNormalLatency(
+            median=config.engine_processing_median,
+            sigma=config.engine_processing_sigma))
+    return rng, simulator, network, engine_node
+
+
+def run_direct(num_queries: int, queries: List[str],
+               seed: int = 0) -> List[float]:
+    config = CyclosaConfig()
+    rng, simulator, network, engine_node = _engine_setup(seed, config)
+    client = DirectClientNode(network, "client", engine_node.address)
+    network.set_link_latency(
+        client.address, engine_node.address,
+        LogNormalLatency(median=config.engine_link_median, sigma=0.3))
+    return _drive(simulator,
+                  lambda q, cb: client.search(q, cb),
+                  num_queries, queries)
+
+
+def run_tor(num_queries: int, queries: List[str],
+            seed: int = 0, num_relays: int = 9) -> List[float]:
+    config = CyclosaConfig()
+    rng, simulator, network, engine_node = _engine_setup(seed, config)
+    relays = build_tor_network(network, rng, engine_node.address,
+                               num_relays=num_relays)
+    client = TorClientNode(network, "client", rng, relays,
+                           engine_node.address)
+    return _drive(simulator,
+                  lambda q, cb: client.search(q, cb),
+                  num_queries, queries)
+
+
+def run_xsearch(num_queries: int, queries: List[str], k: int = 3,
+                seed: int = 0) -> List[float]:
+    config = CyclosaConfig()
+    rng, simulator, network, engine_node = _engine_setup(seed, config)
+    ias = IntelAttestationService()
+    policy = MeasurementPolicy()
+    policy.allow_class(XSearchEnclave)
+    proxy = XSearchProxyNode(network, rng, engine_node.address, ias, policy,
+                             k=k)
+    proxy.prime(queries)
+    # Proxy and engine sit in datacenters (fast peering between them);
+    # the client reaches the proxy over its residential access link.
+    network.set_link_latency(proxy.address, engine_node.address,
+                             LogNormalLatency(median=0.012, sigma=0.25))
+    client = XSearchClientNode(network, "client", rng, proxy, ias, policy)
+    network.set_link_latency(client.address, proxy.address,
+                             LogNormalLatency(median=0.105, sigma=0.35))
+    network.set_link_latency(client.address, engine_node.address,
+                             LogNormalLatency(median=config.engine_link_median,
+                                              sigma=0.3))
+    done = {}
+    client.connect(lambda: done.setdefault("ok", True))
+    simulator.run(until=simulator.now + 30)
+    return _drive(simulator,
+                  lambda q, cb: client.search(q, cb),
+                  num_queries, queries)
+
+
+def run_cyclosa(num_queries: int, queries: List[str], k: int = 3,
+                seed: int = 0, num_nodes: int = 20) -> List[float]:
+    deployment = CyclosaNetwork.create(num_nodes=num_nodes, seed=seed)
+    user = deployment.node(0)
+    latencies = []
+    for index in range(num_queries):
+        result = user.search(queries[index % len(queries)], k_override=k)
+        if result.ok:
+            latencies.append(result.latency)
+    return latencies
+
+
+def run(num_queries: int = 200, k: int = 3, seed: int = 0,
+        num_users: int = 60) -> Dict[str, List[float]]:
+    """Latency samples per system (the Fig 8a series)."""
+    workload = build_workload(num_users=num_users,
+                              mean_queries_per_user=60.0, seed=seed)
+    queries = [record.text for record in workload.test.records[:num_queries]]
+    return {
+        "Direct": run_direct(num_queries, queries, seed=seed),
+        "X-Search": run_xsearch(num_queries, queries, k=k, seed=seed),
+        "CYCLOSA": run_cyclosa(num_queries, queries, k=k, seed=seed),
+        "TOR": run_tor(num_queries, queries, seed=seed),
+    }
+
+
+def main() -> None:
+    from repro.experiments.plotting import ascii_cdf
+
+    samples = run()
+    rows = []
+    for name, latencies in samples.items():
+        summary = summarize(latencies)
+        rows.append([name, f"{summary.median:.3f} s",
+                     f"{PAPER_MEDIANS[name]:.3f} s",
+                     f"{summary.p90:.3f} s", f"{summary.p99:.3f} s"])
+    print_table("Fig 8a — end-to-end latency (200 queries, k=3)",
+                ["System", "Median", "(paper)", "p90", "p99"], rows)
+    print()
+    print(ascii_cdf(samples, log_x=True))
+    for name, latencies in samples.items():
+        print(f"\n{name} CDF:",
+              "  ".join(f"{q:.2f}:{v:.2f}s" for q, v in cdf_points(latencies)))
+
+
+if __name__ == "__main__":
+    main()

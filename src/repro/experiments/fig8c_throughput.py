@@ -1,0 +1,186 @@
+"""Fig 8c: throughput vs latency under saturation.
+
+Paper: requests are submitted to a single CYCLOSA relay (or the
+X-Search proxy) at increasing constant rates, measuring the time to
+return a reply *from the next hop* — the engine is not contacted.
+CYCLOSA sustains 40 000 req/s with a 0.23 s median response; X-Search
+"starts straggling" at 30 000 req/s (the paper annotates a 5.3 s point
+past the knee).
+
+Method here: the per-request *service time* is measured by running one
+real request through the system's enclave pipeline and draining the
+SGX cost meter (gate crossings + EPC traffic + in-enclave crypto).
+Arrivals at each offered rate then feed a FIFO single-server queue
+(Lindley recursion); the client-observed latency is the network round
+trip to the serving node plus queueing sojourn. The knee position is
+therefore a *measured* consequence of the enclave cost model, not an
+input.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.config import CyclosaConfig
+from repro.core.enclave import CyclosaEnclave
+from repro.baselines.xsearch import XSearchEnclave
+from repro.experiments.common import print_table
+from repro.metrics.latencystats import percentile
+from repro.net.latency import LogNormalLatency
+from repro.net.tls import SecureChannel, _directional_keys
+from repro.sgx.enclave import EnclaveHost
+
+DEFAULT_RATES = (1000, 2500, 5000, 10000, 20000, 30000, 40000)
+
+
+def _paired_channels(peer_a: str, peer_b: str, secret: bytes
+                     ) -> Tuple[SecureChannel, SecureChannel]:
+    """Two ends of one established channel (handshake elided)."""
+    send_a, recv_a = _directional_keys(secret, initiator=True)
+    send_b, recv_b = _directional_keys(secret, initiator=False)
+    return (SecureChannel(peer=peer_b, send_key=send_a, recv_key=recv_a),
+            SecureChannel(peer=peer_a, send_key=send_b, recv_key=recv_b))
+
+
+def measure_cyclosa_service_time(seed: int = 0, samples: int = 20) -> float:
+    """Mean enclave cost of one relay forward+response cycle."""
+    rng = random.Random(seed)
+    host = EnclaveHost(rng)
+    enclave = host.create_enclave(CyclosaEnclave)
+    client_end, relay_end = _paired_channels("client", "relay", b"s" * 32)
+    engine_relay, engine_end = _paired_channels("relay", "engine", b"e" * 32)
+    enclave.install_peer_channel("client", relay_end)
+    enclave.install_engine_channel(engine_relay)
+    host.meter.take()
+    total = 0.0
+    for index in range(samples):
+        sealed = client_end.seal({
+            "token": f"t{index}", "query": f"benchmark query {index}",
+            "meta": {}})
+        host.meter.take()  # exclude the harness's own sealing
+        handle, _for_engine = enclave.unwrap_forward("client", sealed)
+        total += host.meter.take()
+        # Engine reply arrives pre-sealed; the relay only unseals/reseals.
+        reply = engine_end.seal({"status": "ok", "hits": [
+            {"url": f"u{i}", "doc_id": i, "score": 0.5} for i in range(10)]})
+        host.meter.take()  # exclude the harness's own sealing
+        enclave.wrap_relay_response(handle, reply)
+        total += host.meter.take()
+    return total / samples
+
+
+def measure_xsearch_service_time(seed: int = 0, samples: int = 20,
+                                 k: int = 3) -> float:
+    """Mean enclave cost of one proxy obfuscate+filter cycle."""
+    rng = random.Random(seed)
+    host = EnclaveHost(rng)
+    enclave = host.create_enclave(XSearchEnclave, k=k)
+    client_end, proxy_end = _paired_channels("client", "proxy", b"x" * 32)
+    enclave.install_client_channel("client", proxy_end)
+    # Prime the table so obfuscation has fakes to draw.
+    table = enclave._trusted["table"]
+    table.extend([f"past query {i} terms" for i in range(200)])
+    host.meter.take()
+    total = 0.0
+    for index in range(samples):
+        sealed = client_end.seal({"query": f"benchmark query {index}",
+                                  "meta": {}})
+        host.meter.take()  # exclude the harness's own sealing
+        obfuscated = enclave.obfuscate("client", sealed)
+        total += host.meter.take()
+        hits = [{"url": f"u{i}", "doc_id": i, "score": 0.5,
+                 "title": ["benchmark", "query"], "snippet": ["query"]}
+                for i in range(20)]
+        enclave.filter_and_wrap("client", obfuscated["query"], hits)
+        total += host.meter.take()
+    return total / samples
+
+
+def simulate_saturation(service_time: float, rate: float,
+                        rtt_model: LogNormalLatency, seed: int = 0,
+                        duration: float = 2.0,
+                        servers: int = 1) -> Dict[str, float]:
+    """Open-loop saturation: Poisson arrivals at *rate* for *duration*
+    seconds into a FIFO multi-server station (*servers* = the enclave's
+    TCS count); Lindley-style recursion on per-server free times."""
+    if servers < 1:
+        raise ValueError("servers must be >= 1")
+    rng = random.Random(seed)
+    latencies: List[float] = []
+    arrival = 0.0
+    free_at = [0.0] * servers  # when each enclave thread frees up
+    while arrival < duration:
+        arrival += rng.expovariate(rate)
+        # FIFO dispatch to the earliest-free thread.
+        index = min(range(servers), key=lambda i: free_at[i])
+        start = max(arrival, free_at[index])
+        free_at[index] = start + service_time
+        sojourn = free_at[index] - arrival
+        latencies.append(rtt_model.sample(rng) + sojourn)
+    return {
+        "rate": rate,
+        "median": percentile(latencies, 0.5),
+        "p90": percentile(latencies, 0.9),
+        "capacity": servers / service_time,
+        "servers": servers,
+    }
+
+
+def run(rates: Sequence[float] = DEFAULT_RATES, seed: int = 0,
+        duration: float = 2.0) -> Dict[str, List[Dict[str, float]]]:
+    """The Fig 8c series: median latency per offered rate, per system."""
+    config = CyclosaConfig()
+    cyclosa_service = measure_cyclosa_service_time(seed=seed)
+    xsearch_service = measure_xsearch_service_time(seed=seed)
+    # CYCLOSA's "next hop" is a residential peer; X-Search's is the
+    # datacenter proxy.
+    cyclosa_rtt = LogNormalLatency(median=2 * config.peer_link_median,
+                                   sigma=0.3)
+    xsearch_rtt = LogNormalLatency(median=2 * 0.035, sigma=0.3)
+    results: Dict[str, List[Dict[str, float]]] = {"CYCLOSA": [], "X-Search": []}
+    for rate in rates:
+        results["CYCLOSA"].append(simulate_saturation(
+            cyclosa_service, rate, cyclosa_rtt, seed=seed, duration=duration))
+        results["X-Search"].append(simulate_saturation(
+            xsearch_service, rate, xsearch_rtt, seed=seed, duration=duration))
+    return results
+
+
+def run_tcs_scaling(tcs_counts=(1, 2, 4), rate: float = 120000,
+                    seed: int = 0,
+                    duration: float = 1.0) -> List[Dict[str, float]]:
+    """Ablation: relay capacity vs the enclave's TCS (thread) count.
+
+    Real SGX enclaves declare several TCS; the relay's throughput
+    ceiling scales with them until EPC or memory bandwidth binds. The
+    offered *rate* is set above single-thread capacity so the scaling
+    is visible in both capacity and overload latency.
+    """
+    config = CyclosaConfig()
+    service = measure_cyclosa_service_time(seed=seed)
+    rtt = LogNormalLatency(median=2 * config.peer_link_median, sigma=0.3)
+    return [
+        simulate_saturation(service, rate, rtt, seed=seed,
+                            duration=duration, servers=tcs)
+        for tcs in tcs_counts
+    ]
+
+
+def main() -> None:
+    results = run()
+    rows = []
+    for name, series in results.items():
+        capacity = series[0]["capacity"]
+        for point in series:
+            rows.append([name, f"{point['rate']:.0f}",
+                         f"{point['median']:.3f} s", f"{point['p90']:.3f} s"])
+        rows.append([name, "capacity", f"{capacity:.0f} req/s", ""])
+    print_table("Fig 8c — throughput vs latency (no engine dispatch)",
+                ["System", "offered req/s", "median latency", "p90"], rows)
+    print("\nPaper: CYCLOSA sustains 40 000 req/s at 0.23 s median; "
+          "X-Search straggles from 30 000 req/s (5.3 s point).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+"""Full-stack privacy validation: SimAttack against the real pipeline.
+
+Fig 5's numbers come from the fast analytic pipeline; this experiment
+closes the loop by attacking the *actual network stack* — enclaves,
+attested channels, gossip relay selection, the engine's real log — and
+checking the result lands where the analytic model says it should.
+
+Setup: one CYCLOSA node per synthetic user; each node is preloaded with
+its user's training history; the test-split queries are issued from
+their owners' nodes with adaptive protection. SimAttack then runs on
+exactly what the engine logged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.baselines.base import AttackSurface, EngineObservation
+from repro.baselines.cyclosa_analytic import CyclosaAnalytic
+from repro.core.client import CyclosaNetwork
+from repro.core.config import CyclosaConfig
+from repro.core.sensitivity import SemanticAssessor
+from repro.experiments.common import build_wordnet, build_workload
+from repro.metrics.privacy import reidentification_rate
+
+
+def run(num_nodes: int = 24, num_queries: int = 240, kmax: int = 7,
+        seed: int = 0,
+        max_wait: float = 240.0) -> Dict[str, float]:
+    """Attack the full stack and its analytic twin on the same workload.
+
+    Returns both rates plus the realised observation counts; the bench
+    asserts they agree within sampling noise.
+    """
+    workload = build_workload(num_users=num_nodes,
+                              mean_queries_per_user=60.0, seed=seed)
+    semantic = SemanticAssessor.from_resources(
+        wordnet=build_wordnet(seed=seed), mode="wordnet")
+
+    config = CyclosaConfig(kmax=kmax)
+    deployment = CyclosaNetwork.create(
+        num_nodes=num_nodes, seed=seed, config=config, semantic=semantic)
+
+    # Map synthetic users onto nodes and preload their histories.
+    user_to_node = {}
+    for index, user_id in enumerate(workload.log.users[:num_nodes]):
+        node = deployment.nodes[index]
+        node.user_id = user_id
+        node.preload_history(workload.user_training_texts(user_id))
+        user_to_node[user_id] = index
+
+    records = [r for r in workload.test.records
+               if r.user_id in user_to_node][:num_queries]
+
+    issued = 0
+    for record in records:
+        result = deployment.node(user_to_node[record.user_id]).search(
+            record.text, max_wait=max_wait)
+        if result.status != "no-peers":
+            issued += 1
+
+    observations = [
+        EngineObservation(identity=entry.identity, text=entry.text,
+                          true_user=entry.true_user or "",
+                          is_fake=entry.is_fake)
+        for entry in deployment.engine_log
+        if entry.true_user is not None
+    ]
+    fullstack_rate = reidentification_rate(
+        workload.attack, observations, AttackSurface.ANONYMOUS_SINGLE)
+
+    # The analytic twin on the identical workload.
+    analytic = CyclosaAnalytic(semantic, kmax=kmax, adaptive=True,
+                               num_relays=num_nodes, seed=seed)
+    for user_id in workload.log.users:
+        analytic.preload_history(user_id,
+                                 workload.user_training_texts(user_id))
+    analytic_observations = []
+    for record in records:
+        analytic_observations.extend(
+            analytic.protect(record.user_id, record.text))
+    analytic_rate = reidentification_rate(
+        workload.attack, analytic_observations,
+        AttackSurface.ANONYMOUS_SINGLE)
+
+    return {
+        "fullstack_rate": fullstack_rate,
+        "analytic_rate": analytic_rate,
+        "fullstack_observations": len(observations),
+        "analytic_observations": len(analytic_observations),
+        "queries_issued": issued,
+    }
+
+
+def main() -> None:
+    outcome = run()
+    print("== Full-stack privacy validation ==")
+    print(f"queries issued through the real stack : "
+          f"{outcome['queries_issued']}")
+    print(f"engine observed (real stack)          : "
+          f"{outcome['fullstack_observations']} queries")
+    print(f"re-identification, full stack         : "
+          f"{outcome['fullstack_rate'] * 100:.1f} %")
+    print(f"re-identification, analytic twin      : "
+          f"{outcome['analytic_rate'] * 100:.1f} %")
+    print("\nThe two pipelines see the same workload; agreement means "
+          "Fig 5's\nanalytic numbers are faithful to the deployed "
+          "protocol (enclaves,\nattestation, gossip relays, engine log "
+          "and all).")
+
+
+if __name__ == "__main__":
+    main()

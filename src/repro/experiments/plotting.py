@@ -1,0 +1,88 @@
+"""Terminal plots: render experiment series as ASCII charts.
+
+The repository ships no plotting dependency; these helpers draw the
+paper's figures directly in the terminal so `python -m repro run fig8a`
+shows a *picture*, not only a table.
+
+- :func:`ascii_cdf`  — multi-series CDF plot (Figs 7, 8a, 8b).
+- :func:`ascii_bars` — horizontal bar chart (Figs 5, 6).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_bars(values: Dict[str, float], width: int = 50,
+               unit: str = "", max_value: float = None) -> str:
+    """Horizontal bars, one per labelled value."""
+    if not values:
+        return "(no data)"
+    peak = max_value if max_value is not None else max(values.values())
+    peak = peak or 1.0
+    label_width = max(len(label) for label in values)
+    lines = []
+    for label, value in values.items():
+        filled = int(round(width * value / peak))
+        bar = "█" * filled + "·" * (width - filled)
+        lines.append(f"{label:<{label_width}} |{bar}| "
+                     f"{value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def ascii_cdf(series: Dict[str, Sequence[float]], width: int = 60,
+              height: int = 16, log_x: bool = False) -> str:
+    """A multi-series CDF plot over shared axes.
+
+    Each series is a list of raw samples; markers distinguish series
+    (legend at the bottom). ``log_x`` reproduces Fig 8a's log-scale
+    x-axis.
+    """
+    populated = {name: sorted(samples)
+                 for name, samples in series.items() if samples}
+    if not populated:
+        return "(no data)"
+
+    lo = min(samples[0] for samples in populated.values())
+    hi = max(samples[-1] for samples in populated.values())
+    if log_x:
+        lo = max(lo, 1e-9)
+        hi = max(hi, lo * 1.0001)
+
+    def x_of(value: float) -> int:
+        if log_x:
+            position = ((math.log10(value) - math.log10(lo))
+                        / (math.log10(hi) - math.log10(lo)))
+        else:
+            position = (value - lo) / (hi - lo) if hi > lo else 0.0
+        return min(width - 1, max(0, int(position * (width - 1))))
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for index, (name, samples) in enumerate(populated.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        n = len(samples)
+        for row in range(height):
+            quantile = (row + 0.5) / height
+            sample = samples[min(n - 1, int(quantile * n))]
+            column = x_of(max(sample, lo))
+            grid[height - 1 - row][column] = marker
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        quantile = 1.0 - row_index / height
+        lines.append(f"{quantile:4.0%} |" + "".join(row))
+    axis = "     +" + "-" * width
+    lines.append(axis)
+    if log_x:
+        lines.append(f"      {lo:.3g}s (log scale) "
+                     f"{'':{max(0, width - 30)}}{hi:.3g}s")
+    else:
+        lines.append(f"      {lo:.3g}s{'':{max(0, width - 14)}}{hi:.3g}s")
+    legend = "      " + "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {name}"
+        for i, name in enumerate(populated))
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Workloads with different query sensitivity levels (§IX future work).
+
+"Future work will investigate other datasets and workloads with
+different query sensitivity levels." This experiment does exactly that:
+the workload generator's sensitivity rate is swept from 5 % to 60 %,
+and for each workload we measure how CYCLOSA's *adaptive* protection
+responds on both axes the paper cares about:
+
+- privacy: SimAttack re-identification rate;
+- cost: mean k (fakes per query = network + engine overhead).
+
+The comparison line is the static k = kmax policy (X-Search style),
+which pays full cost regardless of how sensitive the workload actually
+is. The interesting shape: adaptive cost *tracks* workload sensitivity
+while static cost is flat, and adaptive privacy stays within a small
+factor of static privacy at every sensitivity level.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.attacks.profiles import build_profiles
+from repro.attacks.simattack import SimAttack
+from repro.baselines.cyclosa_analytic import CyclosaAnalytic
+from repro.core.sensitivity import SemanticAssessor
+from repro.datasets.aol import generate_aol_log
+from repro.datasets.split import train_test_split
+from repro.experiments.common import build_wordnet, print_table
+from repro.metrics.privacy import reidentification_rate
+
+
+def run(sensitivity_rates=(0.05, 0.1574, 0.35, 0.60),
+        num_users: int = 50, mean_queries: float = 60.0,
+        kmax: int = 7, seed: int = 0,
+        max_queries: int = 1000) -> List[Dict[str, float]]:
+    """Sweep workload sensitivity; measure adaptive vs static CYCLOSA."""
+    semantic = SemanticAssessor.from_resources(
+        wordnet=build_wordnet(seed=seed), mode="wordnet")
+    rows: List[Dict[str, float]] = []
+    for rate in sensitivity_rates:
+        log = generate_aol_log(num_users=num_users,
+                               mean_queries_per_user=mean_queries,
+                               sensitive_rate=rate, seed=seed)
+        train, test = train_test_split(log)
+        attack = SimAttack(build_profiles(train))
+        records = test.records[:max_queries]
+
+        row: Dict[str, float] = {
+            "sensitive_rate": log.sensitive_rate(),
+        }
+        for label, adaptive in (("adaptive", True), ("static", False)):
+            system = CyclosaAnalytic(semantic, kmax=kmax,
+                                     adaptive=adaptive, seed=seed)
+            for user in log.users:
+                system.preload_history(
+                    user, [r.text for r in train.queries_of(user)])
+            observations = []
+            for record in records:
+                observations.extend(
+                    system.protect(record.user_id, record.text))
+            row[f"{label}_reid"] = reidentification_rate(
+                attack, observations, system.attack_surface)
+            row[f"{label}_mean_k"] = (
+                sum(system.k_history) / len(system.k_history))
+        rows.append(row)
+    return rows
+
+
+def main() -> None:
+    rows = run()
+    print_table(
+        "Sensitivity sweep — adaptive protection vs workload sensitivity",
+        ["workload sensitive", "adaptive re-id", "adaptive mean k",
+         "static re-id", "static mean k"],
+        [[f"{r['sensitive_rate'] * 100:.1f} %",
+          f"{r['adaptive_reid'] * 100:.1f} %",
+          f"{r['adaptive_mean_k']:.2f}",
+          f"{r['static_reid'] * 100:.1f} %",
+          f"{r['static_mean_k']:.2f}"] for r in rows])
+    print("\nAdaptive cost (mean k) tracks the workload's actual "
+          "sensitivity; the static policy pays kmax everywhere.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Gossip-based peer sampling (Jelasity et al., TOCS 2007).
+
+CYCLOSA's peer discovery (§V-E) "is using the random-peer-sampling
+protocol which ensures connectivity between nodes by building and
+maintaining a continuously changing random topology". This package
+implements that protocol over the simulated network:
+
+- :mod:`repro.gossip.view`           — node descriptors and the bounded
+  partial view with age-based replacement.
+- :mod:`repro.gossip.peer_sampling`  — the push-pull shuffle with the
+  healer/swapper parameters of the original paper.
+- :mod:`repro.gossip.bootstrap_repo` — the public address repository a
+  joining node samples its first view from (§V-D compares it to TOR's
+  directory).
+"""
+
+from repro.gossip.bootstrap_repo import PublicRepository
+from repro.gossip.peer_sampling import PeerSamplingService
+from repro.gossip.view import NodeDescriptor, PartialView
+
+__all__ = [
+    "PublicRepository",
+    "PeerSamplingService",
+    "NodeDescriptor",
+    "PartialView",
+]

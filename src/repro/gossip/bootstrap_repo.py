@@ -1,0 +1,46 @@
+"""The public bootstrap repository.
+
+§V-D: "bootstrapping the peer discovery protocol is done as in classical
+peer-2-peer systems using a public repository of IP addresses (e.g., as
+in TOR) from which a CYCLOSA instance can select a first sample of
+random peers."
+
+The repository is intentionally dumb: it hands out random known
+addresses, possibly including stale ones (nodes that already left) —
+the peer-sampling protocol is responsible for healing around those.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+class PublicRepository:
+    """A directory of (possibly stale) participant addresses."""
+
+    def __init__(self, rng) -> None:
+        self._rng = rng
+        self._addresses: List[str] = []
+
+    def publish(self, address: str) -> None:
+        """A joining node announces itself."""
+        if address not in self._addresses:
+            self._addresses.append(address)
+
+    def retire(self, address: str) -> None:
+        """Best-effort removal on clean shutdown (crashes never call it,
+        leaving stale entries — as in the real world)."""
+        try:
+            self._addresses.remove(address)
+        except ValueError:
+            pass
+
+    def sample(self, count: int, exclude: Sequence[str] = ()) -> List[str]:
+        """Random sample of known addresses for a fresh node's view."""
+        candidates = [a for a in self._addresses if a not in set(exclude)]
+        if count >= len(candidates):
+            return list(candidates)
+        return self._rng.sample(candidates, count)
+
+    def __len__(self) -> int:
+        return len(self._addresses)

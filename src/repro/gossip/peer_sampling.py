@@ -1,0 +1,177 @@
+"""The push-pull peer-sampling shuffle.
+
+Each node runs a :class:`PeerSamplingService` attached to its transport
+node. Every ``interval`` simulated seconds it picks its *oldest* view
+entry, pushes a buffer (its own fresh descriptor plus a random half of
+its view) and merges the buffer the peer returns. The (heal, swap)
+parameters follow the healer/swapper policies of Jelasity et al.;
+defaults favour healing, which keeps the overlay connected under churn.
+
+CYCLOSA consumes exactly one API from this service:
+:meth:`PeerSamplingService.random_peers` — a uniform sample of live
+addresses used to pick the ``k+1`` relays of a protected query (§V-C).
+Relay selection from a *continuously reshuffled* random view is also
+what spreads load evenly across nodes (Fig 8d).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.gossip.view import NodeDescriptor, PartialView
+from repro.net.transport import NetNode, RequestContext
+
+GOSSIP_KIND = "pss"
+
+
+class PeerSamplingService:
+    """Random peer sampling for one overlay node.
+
+    Parameters
+    ----------
+    node:
+        The transport node to gossip through.
+    rng:
+        Seeded RNG shared with the rest of the node.
+    view_size:
+        Partial view capacity ``c`` (8 suffices for the overlay sizes
+        simulated here; the original paper uses 30 at internet scale).
+    heal, swap:
+        The H and S policy parameters.
+    interval:
+        Simulated seconds between gossip rounds.
+    """
+
+    def __init__(self, node: NetNode, rng, view_size: int = 8,
+                 heal: int = 2, swap: int = 3,
+                 interval: float = 5.0,
+                 push_pull: bool = True) -> None:
+        self._node = node
+        self._rng = rng
+        self.view = PartialView(view_size)
+        self.heal = heal
+        self.swap = swap
+        self.interval = interval
+        #: push-pull (default, as in the original paper's recommended
+        #: configuration) exchanges buffers both ways per round;
+        #: push-only fires the buffer and learns nothing back —
+        #: convergence is slower and failure detection weaker, which
+        #: the overlay tests demonstrate.
+        self.push_pull = push_pull
+        self._running = False
+        self.rounds_completed = 0
+
+    @property
+    def address(self) -> str:
+        return self._node.address
+
+    # -- bootstrap & lifecycle -------------------------------------------
+
+    def bootstrap(self, seeds: Sequence[str]) -> None:
+        """Fill the initial view from repository-provided addresses."""
+        for address in seeds:
+            if address != self.address:
+                self.view.insert(NodeDescriptor(address, age=0))
+
+    def start(self) -> None:
+        """Begin periodic gossip on the node's simulator."""
+        if self._running:
+            return
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _schedule_next(self) -> None:
+        # Jitter desynchronises rounds across nodes.
+        jitter = self._rng.uniform(0.0, 0.1 * self.interval)
+        self._node.network.simulator.schedule(
+            self.interval + jitter, self._gossip_round)
+
+    # -- the shuffle -------------------------------------------------------
+
+    def _build_buffer(self) -> List[NodeDescriptor]:
+        buffer = [NodeDescriptor(self.address, age=0)]
+        half = max(0, self.view.capacity // 2 - 1)
+        for address in self.view.sample(half, self._rng):
+            descriptor = next(
+                d for d in self.view.descriptors() if d.address == address)
+            buffer.append(descriptor)
+        return buffer
+
+    def _gossip_round(self) -> None:
+        if not self._running:
+            return
+        self.view.increase_ages()
+        peer = self.view.oldest_peer()
+        if peer is not None:
+            buffer = self._build_buffer()
+            payload = [
+                {"address": d.address, "age": d.age} for d in buffer
+            ]
+            if not self.push_pull:
+                # Push-only: fire the buffer, learn nothing back. Still
+                # age-heal locally via capacity eviction over time.
+                self._node.send(peer, f"{GOSSIP_KIND}.push", payload)
+                self.rounds_completed += 1
+                self._schedule_next()
+                return
+
+            def on_reply(response) -> None:
+                received = [
+                    NodeDescriptor(entry["address"], entry["age"])
+                    for entry in response
+                    if entry["address"] != self.address
+                ]
+                self.view.merge(received, sent=buffer, heal=self.heal,
+                                swap=self.swap, rng=self._rng)
+                self.rounds_completed += 1
+
+            def on_timeout() -> None:
+                # Unresponsive peer: drop it — the self-healing step.
+                self.view.remove(peer)
+
+            self._node.request(
+                peer, payload, on_reply, timeout=4 * self.interval,
+                on_timeout=on_timeout, kind=GOSSIP_KIND)
+        self._schedule_next()
+
+    def handle_push(self, message) -> bool:
+        """Receiver half of a push-only round (datagram, no response)."""
+        if message.kind != f"{GOSSIP_KIND}.push":
+            return False
+        received = [
+            NodeDescriptor(entry["address"], entry["age"])
+            for entry in message.payload
+            if entry["address"] != self.address
+        ]
+        self.view.merge(received, sent=[], heal=self.heal,
+                        swap=self.swap, rng=self._rng)
+        return True
+
+    def handle_request(self, ctx: RequestContext) -> bool:
+        """Responder half of the push-pull exchange.
+
+        Returns True when the request was a gossip message (so node
+        dispatch code can try other handlers otherwise).
+        """
+        if ctx.request.kind != f"{GOSSIP_KIND}.req":
+            return False
+        received = [
+            NodeDescriptor(entry["address"], entry["age"])
+            for entry in ctx.request.payload
+            if entry["address"] != self.address
+        ]
+        buffer = self._build_buffer()
+        ctx.respond([{"address": d.address, "age": d.age} for d in buffer])
+        self.view.merge(received, sent=buffer, heal=self.heal,
+                        swap=self.swap, rng=self._rng)
+        return True
+
+    # -- the API CYCLOSA consumes ------------------------------------------
+
+    def random_peers(self, count: int,
+                     exclude: Sequence[str] = ()) -> List[str]:
+        """A uniform sample of *count* distinct peers from the view."""
+        return self.view.sample(count, self._rng, exclude=exclude)

@@ -1,0 +1,28 @@
+"""Evaluation metrics.
+
+- :mod:`repro.metrics.privacy`      — re-identification success rate
+  under each SimAttack variant (Fig 5).
+- :mod:`repro.metrics.accuracy`     — correctness/completeness of
+  returned results (Fig 6) and precision/recall of the sensitivity
+  categorizer (Table II).
+- :mod:`repro.metrics.latencystats` — CDFs, medians and percentiles for
+  the latency/throughput figures (Figs 8a-8c).
+"""
+
+from repro.metrics.accuracy import (
+    AccuracyScore,
+    correctness_completeness,
+    precision_recall,
+)
+from repro.metrics.latencystats import LatencySummary, cdf_points, summarize
+from repro.metrics.privacy import reidentification_rate
+
+__all__ = [
+    "AccuracyScore",
+    "correctness_completeness",
+    "precision_recall",
+    "LatencySummary",
+    "cdf_points",
+    "summarize",
+    "reidentification_rate",
+]

@@ -1,0 +1,89 @@
+"""Accuracy metrics.
+
+Fig 6 (§VII-F): for one query, ``Ror`` is the engine's answer to the
+original query and ``Rxs`` what the protection system returned to the
+user; then::
+
+    Correctness  = |Ror ∩ Rxs| / |Rxs|
+    Completeness = |Ror ∩ Rxs| / |Ror|
+
+Table II (§VII-D): the sensitivity categorizer's precision/recall over
+ground-truth labels::
+
+    Recall    = |Qm ∩ Qs| / |Qs|
+    Precision = |Qm ∩ Qs| / |Qm|
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class AccuracyScore:
+    """Correctness/completeness pair, each in [0, 1]."""
+
+    correctness: float
+    completeness: float
+
+    @property
+    def perfect(self) -> bool:
+        return self.correctness == 1.0 and self.completeness == 1.0
+
+
+def correctness_completeness(reference: Sequence[str],
+                             returned: Sequence[str]) -> AccuracyScore:
+    """Score one query's returned results against the reference answer.
+
+    Conventions for empty sets: if the reference is empty the query has
+    no right answer — completeness is 1.0 and correctness is 1.0 only
+    when nothing was returned. If the system returned nothing while the
+    reference exists, correctness is vacuously 1.0 (nothing wrong was
+    shown) and completeness 0.0.
+    """
+    reference_set = set(reference)
+    returned_set = set(returned)
+    intersection = len(reference_set & returned_set)
+    if not returned_set:
+        correctness = 1.0
+    else:
+        correctness = intersection / len(returned_set)
+    if not reference_set:
+        completeness = 1.0
+    else:
+        completeness = intersection / len(reference_set)
+    return AccuracyScore(correctness=correctness, completeness=completeness)
+
+
+def mean_accuracy(scores: Iterable[AccuracyScore]) -> AccuracyScore:
+    """Average of per-query scores (what Fig 6 plots)."""
+    scores = list(scores)
+    if not scores:
+        return AccuracyScore(correctness=0.0, completeness=0.0)
+    return AccuracyScore(
+        correctness=sum(s.correctness for s in scores) / len(scores),
+        completeness=sum(s.completeness for s in scores) / len(scores),
+    )
+
+
+def precision_recall(predicted: Iterable[bool],
+                     actual: Iterable[bool]) -> Tuple[float, float]:
+    """Precision and recall of a binary classifier over aligned labels.
+
+    Returns ``(precision, recall)``. Precision is 1.0 when nothing was
+    predicted positive (no false alarms); recall is 1.0 when nothing
+    was actually positive.
+    """
+    predicted = list(predicted)
+    actual = list(actual)
+    if len(predicted) != len(actual):
+        raise ValueError("predicted and actual must align")
+    true_positive = sum(1 for p, a in zip(predicted, actual) if p and a)
+    predicted_positive = sum(predicted)
+    actual_positive = sum(actual)
+    precision = (true_positive / predicted_positive
+                 if predicted_positive else 1.0)
+    recall = (true_positive / actual_positive
+              if actual_positive else 1.0)
+    return precision, recall

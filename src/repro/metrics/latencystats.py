@@ -1,0 +1,66 @@
+"""Latency statistics: medians, percentiles, CDF points.
+
+Figures 8a and 8b are CDFs of end-to-end latency; Fig 8c plots median
+latency against offered throughput. These helpers turn raw sample
+lists into the numbers the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The *q*-quantile (0..1) by linear interpolation."""
+    if not samples:
+        raise ValueError("no samples")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    # This form is exact (no float overshoot) when both endpoints match.
+    return ordered[low] + fraction * (ordered[high] - ordered[low])
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """The summary row the benches print per configuration."""
+
+    count: int
+    median: float
+    p90: float
+    p99: float
+    mean: float
+    maximum: float
+
+    def row(self) -> str:
+        return (f"n={self.count:5d}  median={self.median:8.3f}s  "
+                f"p90={self.p90:8.3f}s  p99={self.p99:8.3f}s  "
+                f"mean={self.mean:8.3f}s  max={self.maximum:8.3f}s")
+
+
+def summarize(samples: Sequence[float]) -> LatencySummary:
+    """Summary statistics of a latency sample set."""
+    if not samples:
+        raise ValueError("no samples")
+    return LatencySummary(
+        count=len(samples),
+        median=percentile(samples, 0.5),
+        p90=percentile(samples, 0.9),
+        p99=percentile(samples, 0.99),
+        mean=sum(samples) / len(samples),
+        maximum=max(samples),
+    )
+
+
+def cdf_points(samples: Sequence[float],
+               points: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
+               ) -> List[Tuple[float, float]]:
+    """(quantile, latency) pairs — the series a CDF plot would draw."""
+    return [(q, percentile(samples, q)) for q in points]

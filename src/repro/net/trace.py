@@ -1,0 +1,108 @@
+"""Message tracing: a wiretap for the simulated network.
+
+The traffic-analysis experiments and several security tests need to
+observe everything a passive network adversary would see — sources,
+destinations, kinds and *sizes*, but not plaintext (most payloads are
+sealed bytes). :class:`MessageTrace` installs itself around
+``Network.send`` and records exactly that.
+
+Usage::
+
+    with MessageTrace(network, kinds=("cyclosa.fwd",)) as trace:
+        ...drive traffic...
+    sizes = [record.size_bytes for record in trace]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Optional, Sequence
+
+from repro.net.transport import Network
+
+
+@dataclass(frozen=True)
+class TracedMessage:
+    """One observed transmission (metadata only — what a passive
+    adversary on the wire sees of encrypted traffic)."""
+
+    time: float
+    src: str
+    dst: str
+    kind: str
+    size_bytes: int
+    payload_is_bytes: bool
+
+
+class MessageTrace:
+    """Context manager capturing transmissions on a network."""
+
+    def __init__(self, network: Network,
+                 kinds: Optional[Sequence[str]] = None,
+                 src: Optional[str] = None,
+                 dst: Optional[str] = None) -> None:
+        self.network = network
+        self._kinds = tuple(kinds) if kinds else None
+        self._src = src
+        self._dst = dst
+        self._records: List[TracedMessage] = []
+        self._original_send: Optional[Callable] = None
+
+    # -- capture lifecycle ------------------------------------------------
+
+    def __enter__(self) -> "MessageTrace":
+        if self._original_send is not None:
+            raise RuntimeError("trace already installed")
+        self._original_send = self.network.send
+
+        def tapped(src: str, dst: str, kind: str, payload: Any,
+                   size_bytes: Optional[int] = None):
+            message = self._original_send(src, dst, kind, payload,
+                                          size_bytes)
+            if self._matches(src, dst, kind):
+                size = (size_bytes if size_bytes is not None
+                        else (len(payload)
+                              if isinstance(payload, (bytes, bytearray))
+                              else (message.size_bytes if message else 0)))
+                self._records.append(TracedMessage(
+                    time=self.network.simulator.now,
+                    src=src, dst=dst, kind=kind, size_bytes=size,
+                    payload_is_bytes=isinstance(payload,
+                                                (bytes, bytearray))))
+            return message
+
+        self.network.send = tapped
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._original_send is not None:
+            self.network.send = self._original_send
+            self._original_send = None
+
+    def _matches(self, src: str, dst: str, kind: str) -> bool:
+        if self._kinds is not None and not any(
+                kind.startswith(k) for k in self._kinds):
+            return False
+        if self._src is not None and src != self._src:
+            return False
+        if self._dst is not None and dst != self._dst:
+            return False
+        return True
+
+    # -- inspection ---------------------------------------------------------
+
+    def __iter__(self) -> Iterator[TracedMessage]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> List[TracedMessage]:
+        return list(self._records)
+
+    def sizes(self) -> List[int]:
+        return [record.size_bytes for record in self._records]
+
+    def between(self, src: str, dst: str) -> List[TracedMessage]:
+        return [r for r in self._records if r.src == src and r.dst == dst]

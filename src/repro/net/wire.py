@@ -1,0 +1,50 @@
+"""Canonical wire encoding for application payloads.
+
+Protocols in this repository encrypt *bytes*; their payloads are small
+JSON-able structures (queries, result lists, handshake fields) that may
+embed raw byte strings (keys, quotes, nonces). This module provides a
+deterministic, reversible encoding: JSON with sorted keys, where bytes
+are tagged as ``{"__bytes__": "<hex>"}``.
+
+Determinism matters twice: encrypted sizes must be stable for the
+traffic-analysis experiments, and hashes over encoded structures (e.g.
+attestation report data) must be reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+_BYTES_TAG = "__bytes__"
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, (bytes, bytearray)):
+        return {_BYTES_TAG: bytes(value).hex()}
+    if isinstance(value, dict):
+        return {key: _encode_value(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(item) for item in value]
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if set(value) == {_BYTES_TAG}:
+            return bytes.fromhex(value[_BYTES_TAG])
+        return {key: _decode_value(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_decode_value(item) for item in value]
+    return value
+
+
+def encode(obj: Any) -> bytes:
+    """Serialise *obj* to canonical bytes."""
+    return json.dumps(_encode_value(obj), sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def decode(data: bytes) -> Any:
+    """Inverse of :func:`encode`."""
+    return _decode_value(json.loads(data.decode("utf-8")))

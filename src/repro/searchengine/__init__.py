@@ -1,0 +1,33 @@
+"""The search-engine substrate.
+
+CYCLOSA targets an unmodified commercial engine (Google in the paper);
+the experiments need three engine behaviours, all modelled here:
+
+- **Ranked retrieval** (:mod:`repro.searchengine.engine`): a TF-IDF
+  engine over a synthetic corpus, so correctness/completeness of
+  filtered results (Fig 6) can be measured exactly.
+- **Bot defence** (:mod:`repro.searchengine.ratelimit`): per-identity
+  sliding-window rate limiting with a captcha state, reproducing the
+  "high flow of queries triggers Google's bot protection" behaviour
+  that breaks centralized proxies (Fig 8d).
+- **Honest-but-curious logging** (:mod:`repro.searchengine.adversary`):
+  the engine faithfully answers while recording (identity, query)
+  pairs; the SimAttack adversary reads this log (§III, §VII-E).
+"""
+
+from repro.searchengine.adversary import LoggedQuery, QueryLogTap
+from repro.searchengine.corpus import Corpus, Document, build_corpus
+from repro.searchengine.engine import SearchEngine, SearchHit
+from repro.searchengine.ratelimit import RateLimiter, RateLimitVerdict
+
+__all__ = [
+    "LoggedQuery",
+    "QueryLogTap",
+    "Corpus",
+    "Document",
+    "build_corpus",
+    "SearchEngine",
+    "SearchHit",
+    "RateLimiter",
+    "RateLimitVerdict",
+]

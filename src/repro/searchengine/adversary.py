@@ -1,0 +1,56 @@
+"""Honest-but-curious query logging.
+
+§III: the search engine "faithfully replies to search queries while
+gathering information from incoming queries ... is able to build user
+profiles and run re-identification attacks". The tap records exactly
+what the engine sees — the *network identity* the request arrived from
+and the query text — which is the input SimAttack consumes.
+
+The crucial modelling point: under unlinkability systems the identity
+the engine sees is a relay/exit/proxy, not the user; under
+TrackMeNot/GooPIR it is the real user. The privacy experiments differ
+only in what ends up in this log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class LoggedQuery:
+    """One engine-side observation."""
+
+    identity: str
+    text: str
+    timestamp: float
+    # Ground-truth annotations carried for evaluation only — the
+    # adversary's attack code never reads them; metrics do.
+    true_user: Optional[str] = None
+    is_fake: bool = False
+    group_id: Optional[int] = None
+
+
+class QueryLogTap:
+    """Accumulates the engine's view of incoming traffic."""
+
+    def __init__(self) -> None:
+        self._log: List[LoggedQuery] = []
+
+    def record(self, identity: str, text: str, timestamp: float,
+               true_user: Optional[str] = None, is_fake: bool = False,
+               group_id: Optional[int] = None) -> None:
+        self._log.append(LoggedQuery(
+            identity=identity, text=text, timestamp=timestamp,
+            true_user=true_user, is_fake=is_fake, group_id=group_id))
+
+    @property
+    def entries(self) -> List[LoggedQuery]:
+        return list(self._log)
+
+    def __len__(self) -> int:
+        return len(self._log)
+
+    def clear(self) -> None:
+        self._log.clear()

@@ -1,0 +1,138 @@
+"""TF-IDF ranked retrieval with optional OR-operator semantics.
+
+The engine answers a query with its top-*k* documents under cosine
+TF-IDF scoring. Two behaviours matter for the paper's accuracy argument
+(§II-A3, Fig 6):
+
+- ``or_support="native"``: ``a OR b`` returns a score-merged union of
+  the sub-queries' results — the best case GooPIR/PEAS can hope for.
+- ``or_support="none"``: the OR string is treated as one long bag of
+  words (what §II-A3 reports real engines do), diluting the real
+  query's terms among the fakes' and wrecking result relevance.
+
+Either way the response to an OR query is a single merged list in which
+the client cannot tell which document answered which sub-query — the
+root cause of the correctness/completeness losses CYCLOSA avoids by
+never aggregating queries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.searchengine.corpus import Corpus, Document
+from repro.text.tokenize import tokenize
+
+OR_SEPARATOR = " OR "
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One ranked result."""
+
+    doc_id: int
+    url: str
+    score: float
+    snippet_terms: Tuple[str, ...]
+
+
+class SearchEngine:
+    """An inverted-index TF-IDF engine over a :class:`Corpus`."""
+
+    def __init__(self, corpus: Corpus, results_per_query: int = 10,
+                 or_support: str = "native") -> None:
+        if or_support not in ("native", "none"):
+            raise ValueError("or_support must be 'native' or 'none'")
+        self.corpus = corpus
+        self.results_per_query = results_per_query
+        self.or_support = or_support
+        self._postings: Dict[str, List[Tuple[int, float]]] = {}
+        self._doc_norms: Dict[int, float] = {}
+        self._documents: Dict[int, Document] = {}
+        self._build_index()
+
+    def _build_index(self) -> None:
+        num_docs = len(self.corpus.documents)
+        term_doc_freq: Dict[str, int] = {}
+        doc_term_counts: List[Tuple[int, Dict[str, int]]] = []
+        for document in self.corpus.documents:
+            counts: Dict[str, int] = {}
+            for token in document.tokens:
+                counts[token] = counts.get(token, 0) + 1
+            doc_term_counts.append((document.doc_id, counts))
+            self._documents[document.doc_id] = document
+            for term in counts:
+                term_doc_freq[term] = term_doc_freq.get(term, 0) + 1
+        self._idf = {
+            term: math.log((1 + num_docs) / (1 + df)) + 1.0
+            for term, df in term_doc_freq.items()
+        }
+        for doc_id, counts in doc_term_counts:
+            norm_sq = 0.0
+            for term, count in counts.items():
+                weight = (1.0 + math.log(count)) * self._idf[term]
+                self._postings.setdefault(term, []).append((doc_id, weight))
+                norm_sq += weight * weight
+            self._doc_norms[doc_id] = math.sqrt(norm_sq) or 1.0
+
+    # -- querying --------------------------------------------------------
+
+    def search(self, query: str, topk: int | None = None) -> List[SearchHit]:
+        """Answer *query*; handles the OR operator per ``or_support``."""
+        topk = topk if topk is not None else self.results_per_query
+        if OR_SEPARATOR in query and self.or_support == "native":
+            subqueries = [part for part in query.split(OR_SEPARATOR) if part.strip()]
+            return self._merge_subquery_results(subqueries, topk)
+        # Either a plain query, or an OR query on an engine without
+        # native OR support: one big bag of words.
+        return self._rank(tokenize(query.replace(OR_SEPARATOR, " ")), topk)
+
+    def _merge_subquery_results(self, subqueries: Sequence[str],
+                                topk: int) -> List[SearchHit]:
+        """Union of per-subquery rankings, merged by score.
+
+        An OR query matches more documents, so the engine returns a
+        proportionally larger result page (up to *topk* per sub-query).
+        The client still cannot tell which document answered which
+        sub-query — recovering the real answer from this merged list is
+        the filtering problem that costs OR systems accuracy (Fig 6).
+        """
+        best: Dict[int, SearchHit] = {}
+        for subquery in subqueries:
+            for hit in self._rank(tokenize(subquery), topk):
+                existing = best.get(hit.doc_id)
+                if existing is None or hit.score > existing.score:
+                    best[hit.doc_id] = hit
+        merged = sorted(best.values(), key=lambda h: (-h.score, h.doc_id))
+        # The engine's OR result page is larger than a plain page but
+        # not k+1 pages: sub-queries compete for the slots. This is the
+        # completeness loss OR systems pay (and it worsens with k).
+        return merged[: 2 * topk]
+
+    def _rank(self, terms: Sequence[str], topk: int) -> List[SearchHit]:
+        scores: Dict[int, float] = {}
+        query_terms = [t for t in terms if t in self._postings]
+        if not query_terms:
+            return []
+        for term in query_terms:
+            idf = self._idf[term]
+            for doc_id, weight in self._postings[term]:
+                scores[doc_id] = scores.get(doc_id, 0.0) + idf * weight
+        ranked = sorted(
+            ((score / self._doc_norms[doc_id], doc_id)
+             for doc_id, score in scores.items()),
+            key=lambda pair: (-pair[0], pair[1]))
+        hits = []
+        for score, doc_id in ranked[:topk]:
+            document = self._documents[doc_id]
+            snippet = tuple(t for t in query_terms
+                            if t in set(document.tokens))[:5]
+            hits.append(SearchHit(
+                doc_id=doc_id, url=document.url, score=score,
+                snippet_terms=snippet))
+        return hits
+
+    def document(self, doc_id: int) -> Document:
+        return self._documents[doc_id]

@@ -1,0 +1,129 @@
+"""The search engine as a network service.
+
+Wraps the pure :class:`~repro.searchengine.engine.SearchEngine` behind a
+transport node with:
+
+- a processing-latency model (commercial engines answer in a few
+  hundred milliseconds; the default is calibrated for Fig 8a),
+- the per-identity :class:`~repro.searchengine.ratelimit.RateLimiter`,
+- the honest-but-curious :class:`~repro.searchengine.adversary.QueryLogTap`,
+- TLS support, so enclaves can query over channels the relay host
+  cannot read (§V-F: "CYCLOSA uses TLS connections to search engines
+  ... established from within enclaves").
+
+Two request flavours are served:
+
+- ``search`` — plaintext payload ``{"query", "meta"}``; the identity
+  logged is the transport source (used by Direct/TMN/GooPIR and by
+  relays that terminate TLS themselves).
+- ``searchtls`` — payload is a sealed record on an established secure
+  channel; the engine decrypts, serves and responds sealed.
+
+``meta`` carries *evaluation-only* ground truth (true user, fake flag,
+group id). It rides inside the encrypted payload, is copied verbatim to
+the log tap, and is read exclusively by metric code — never by the
+attack, which sees only (identity, text, time).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.crypto.keys import IdentityKeyPair
+from repro.net.latency import LatencyModel, LogNormalLatency
+from repro.net.transport import Network, NetNode, RequestContext
+from repro.net.tls import SecureChannelManager, SignatureAuthenticator
+from repro.searchengine.adversary import QueryLogTap
+from repro.searchengine.engine import SearchEngine
+from repro.searchengine.ratelimit import RateLimiter, RateLimitVerdict
+
+DEFAULT_PROCESSING = LogNormalLatency(median=0.32, sigma=0.35)
+
+
+class SearchEngineNode(NetNode):
+    """The engine's network front-end."""
+
+    def __init__(self, network: Network, engine: SearchEngine, rng,
+                 address: str = "engine",
+                 processing: Optional[LatencyModel] = None,
+                 rate_limiter: Optional[RateLimiter] = None) -> None:
+        super().__init__(network, address)
+        self.engine = engine
+        self.rng = rng
+        self.processing = processing or DEFAULT_PROCESSING
+        self.rate_limiter = rate_limiter
+        self.tap = QueryLogTap()
+        self.identity = IdentityKeyPair.generate(bits=512, rng=rng)
+        self.tls = SecureChannelManager(
+            self, SignatureAuthenticator(self.identity), rng)
+
+    # -- request handling --------------------------------------------------
+
+    def handle_request(self, ctx: RequestContext) -> None:
+        if self.tls.handle_handshake(ctx):
+            return
+        kind = ctx.request.kind
+        if kind == "search.req":
+            self._serve_plain(ctx)
+        elif kind == "searchtls.req":
+            self._serve_sealed(ctx)
+        # Unknown kinds are silently dropped (the engine is not a peer).
+
+    def _serve_plain(self, ctx: RequestContext) -> None:
+        payload = ctx.request.payload
+        query = payload["query"]
+        meta = payload.get("meta") or {}
+        identity = ctx.request.src
+        self._admit_and_answer(ctx, identity, query, meta, sealed_for=None)
+
+    def _serve_sealed(self, ctx: RequestContext) -> None:
+        channel = self.tls.channel(ctx.request.src)
+        if channel is None:
+            return  # no channel: drop (client must handshake first)
+        record = channel.open(ctx.request.payload)
+        self._admit_and_answer(
+            ctx, ctx.request.src, record["query"], record.get("meta") or {},
+            sealed_for=channel)
+
+    def _admit_and_answer(self, ctx: RequestContext, identity: str,
+                          query: str, meta: Dict[str, Any],
+                          sealed_for) -> None:
+        now = self.network.simulator.now
+        if self.rate_limiter is not None:
+            verdict = self.rate_limiter.check(identity, now)
+            if verdict is RateLimitVerdict.CAPTCHA:
+                response: Dict[str, Any] = {"status": "captcha", "hits": []}
+                self._respond_after_delay(ctx, response, sealed_for,
+                                          delay=0.005)
+                return
+        # Honest-but-curious: log *then* serve faithfully (§III).
+        self.tap.record(
+            identity=identity, text=query, timestamp=now,
+            true_user=meta.get("true_user"),
+            is_fake=bool(meta.get("is_fake", False)),
+            group_id=meta.get("group_id"))
+        hits = self.engine.search(query)
+        response = {
+            "status": "ok",
+            "hits": [
+                {
+                    "doc_id": hit.doc_id,
+                    "url": hit.url,
+                    "score": hit.score,
+                    "title": list(self.engine.document(hit.doc_id).title_terms),
+                }
+                for hit in hits
+            ],
+        }
+        self._respond_after_delay(
+            ctx, response, sealed_for, delay=self.processing.sample(self.rng))
+
+    def _respond_after_delay(self, ctx: RequestContext, response: Dict[str, Any],
+                             sealed_for, delay: float) -> None:
+        def respond() -> None:
+            if sealed_for is not None:
+                ctx.respond(sealed_for.seal(response, rng=self.rng))
+            else:
+                ctx.respond(response)
+
+        self.network.simulator.schedule(delay, respond)

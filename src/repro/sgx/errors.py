@@ -1,0 +1,20 @@
+"""Exception hierarchy for the simulated SGX runtime."""
+
+from __future__ import annotations
+
+
+class SgxError(Exception):
+    """Base class for every SGX-simulation failure."""
+
+
+class EnclaveError(SgxError):
+    """Lifecycle misuse: calling into a destroyed or uninitialised enclave."""
+
+
+class EnclaveIsolationError(SgxError):
+    """Untrusted code attempted to touch enclave-private state directly.
+
+    Real SGX makes this a hardware fault (EPC reads return ciphertext);
+    the simulation makes it loud so tests can prove the trust boundary
+    is respected by construction.
+    """

@@ -1,0 +1,42 @@
+"""Exponential smoothing of ranked similarity lists.
+
+Both CYCLOSA's linkability assessment (§V-A2) and SimAttack (§VII-E)
+aggregate the cosine similarities between a query and a set of past
+queries by *ranking them in ascending order and exponentially smoothing
+them*, so the most similar past queries dominate the aggregate while
+the long tail of dissimilar ones still discounts it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+DEFAULT_ALPHA = 0.5
+
+
+def exponential_smoothing(values: Sequence[float],
+                          alpha: float = DEFAULT_ALPHA) -> float:
+    """Smooth *values* in the given order: ``s = α·v + (1-α)·s``.
+
+    The last element carries the most weight; callers pass similarities
+    sorted ascending so the best match dominates. Returns 0.0 for an
+    empty sequence.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError("alpha must be in (0, 1]")
+    smoothed = 0.0
+    first = True
+    for value in values:
+        if first:
+            smoothed = value
+            first = False
+        else:
+            smoothed = alpha * value + (1.0 - alpha) * smoothed
+    return smoothed
+
+
+def smoothed_similarity(similarities: Iterable[float],
+                        alpha: float = DEFAULT_ALPHA) -> float:
+    """Rank ascending, then exponentially smooth (the SimAttack metric)."""
+    ranked = sorted(similarities)
+    return exponential_smoothing(ranked, alpha=alpha)

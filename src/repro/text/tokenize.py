@@ -1,0 +1,55 @@
+"""Query tokenisation.
+
+Search queries are short, noisy strings; the pipeline used throughout
+the repository (sensitivity analysis, SimAttack, the search engine
+indexer) is: lowercase → split on non-alphanumerics → drop stopwords
+and single characters → optionally Porter-stem.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+# A compact English stopword list — enough to keep function words out of
+# user profiles without deleting informative query terms.
+STOPWORDS = frozenset("""
+a about above after again all am an and any are as at be because been
+before being below between both but by can did do does doing down during
+each few for from further had has have having he her here hers him his
+how i if in into is it its itself just me more most my myself no nor not
+now of off on once only or other our ours out over own same she so some
+such than that the their theirs them then there these they this those
+through to too under until up very was we were what when where which
+while who whom why will with you your yours
+""".split())
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str, drop_stopwords: bool = True,
+             min_length: int = 2) -> List[str]:
+    """Split *text* into normalised tokens.
+
+    Parameters
+    ----------
+    text:
+        Raw query or document text.
+    drop_stopwords:
+        Remove members of :data:`STOPWORDS`.
+    min_length:
+        Drop tokens shorter than this many characters.
+    """
+    tokens = _TOKEN_RE.findall(text.lower())
+    return [
+        token for token in tokens
+        if len(token) >= min_length
+        and not (drop_stopwords and token in STOPWORDS)
+    ]
+
+
+def stemmed_tokens(text: str) -> List[str]:
+    """Tokenise then Porter-stem (the canonical profile representation)."""
+    from repro.text.stem import porter_stem
+
+    return [porter_stem(token) for token in tokenize(text)]

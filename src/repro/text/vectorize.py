@@ -1,0 +1,69 @@
+"""Term vectors and cosine similarity.
+
+The paper's linkability assessment (§V-A2) and SimAttack (§VII-E) both
+represent a query as a *binary* vector over its terms and compare with
+cosine similarity; user profiles additionally use weighted (count)
+vectors. Both representations are provided here as lightweight sparse
+structures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Iterable, Mapping
+
+from repro.text.stem import porter_stem
+from repro.text.tokenize import tokenize
+
+TermVector = Dict[str, float]
+
+
+def query_vector(text: str, stem: bool = True) -> FrozenSet[str]:
+    """The binary term-set representation of a query."""
+    tokens = tokenize(text)
+    if stem:
+        tokens = [porter_stem(token) for token in tokens]
+    return frozenset(tokens)
+
+
+def count_vector(tokens: Iterable[str]) -> TermVector:
+    """Sparse term-count vector."""
+    vector: TermVector = {}
+    for token in tokens:
+        vector[token] = vector.get(token, 0.0) + 1.0
+    return vector
+
+
+def cosine_binary(a: FrozenSet[str], b: FrozenSet[str]) -> float:
+    """Cosine similarity between two binary term sets.
+
+    Equals ``|A ∩ B| / sqrt(|A| |B|)``; 0.0 when either set is empty.
+    """
+    if not a or not b:
+        return 0.0
+    # Iterate over the smaller set for speed.
+    small, large = (a, b) if len(a) <= len(b) else (b, a)
+    overlap = sum(1 for term in small if term in large)
+    if overlap == 0:
+        return 0.0
+    return overlap / math.sqrt(len(a) * len(b))
+
+
+def cosine_sparse(a: Mapping[str, float], b: Mapping[str, float]) -> float:
+    """Cosine similarity between two sparse weighted vectors."""
+    if not a or not b:
+        return 0.0
+    small, large = (a, b) if len(a) <= len(b) else (b, a)
+    dot = sum(weight * large.get(term, 0.0) for term, weight in small.items())
+    if dot == 0.0:
+        return 0.0
+    norm_a = math.sqrt(sum(weight * weight for weight in a.values()))
+    norm_b = math.sqrt(sum(weight * weight for weight in b.values()))
+    return dot / (norm_a * norm_b)
+
+
+def add_into(target: TermVector, source: Mapping[str, float],
+             scale: float = 1.0) -> None:
+    """In-place ``target += scale * source`` (profile accumulation)."""
+    for term, weight in source.items():
+        target[term] = target.get(term, 0.0) + scale * weight

@@ -1,0 +1,31 @@
+"""Tests for adversary profile construction."""
+
+from repro.attacks.profiles import UserProfile, build_profiles
+
+
+class TestProfiles:
+    def test_build_covers_all_training_users(self, small_split):
+        train, _ = small_split
+        profiles = build_profiles(train)
+        active = {r.user_id for r in train.records}
+        assert set(profiles) == active
+
+    def test_profile_sizes_match_counts(self, small_split):
+        train, _ = small_split
+        profiles = build_profiles(train)
+        for user_id, profile in profiles.items():
+            assert len(profile) <= len(train.queries_of(user_id))
+            assert len(profile) > 0
+
+    def test_vectors_are_stemmed_term_sets(self, small_split):
+        train, _ = small_split
+        profiles = build_profiles(train)
+        profile = next(iter(profiles.values()))
+        assert all(isinstance(v, frozenset) for v in profile.query_vectors)
+
+    def test_add_query_skips_empty(self):
+        profile = UserProfile("u")
+        profile.add_query("the of and")  # all stopwords
+        assert len(profile) == 0
+        profile.add_query("flu symptoms")
+        assert len(profile) == 1

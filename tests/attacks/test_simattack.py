@@ -1,0 +1,122 @@
+"""Tests for SimAttack."""
+
+import pytest
+
+from repro.attacks.profiles import UserProfile
+from repro.attacks.simattack import SimAttack
+
+
+def make_attack(threshold=0.5, alpha=0.5):
+    profiles = {
+        "health-user": UserProfile("health-user"),
+        "sports-user": UserProfile("sports-user"),
+    }
+    for query in ("flu symptoms", "cancer treatment", "flu vaccine",
+                  "symptoms headache"):
+        profiles["health-user"].add_query(query)
+    for query in ("football scores", "basketball playoffs",
+                  "football tickets", "hockey league"):
+        profiles["sports-user"].add_query(query)
+    return SimAttack(profiles, threshold=threshold, alpha=alpha)
+
+
+class TestSimilarity:
+    def test_exact_profile_query_scores_high(self):
+        attack = make_attack()
+        assert attack.similarity("flu symptoms", "health-user") > 0.5
+
+    def test_unrelated_scores_zero(self):
+        attack = make_attack()
+        assert attack.similarity("quantum physics", "health-user") == 0.0
+
+    def test_cross_profile_scores_low(self):
+        attack = make_attack()
+        assert (attack.similarity("flu symptoms", "sports-user")
+                < attack.similarity("flu symptoms", "health-user"))
+
+    def test_unknown_user(self):
+        attack = make_attack()
+        assert attack.similarity("flu", "ghost") == 0.0
+
+    def test_matches_naive_computation(self):
+        # The inverted-index fast path must equal the direct definition.
+        import math
+
+        from repro.text.smoothing import smoothed_similarity
+        from repro.text.vectorize import cosine_binary, query_vector
+
+        attack = make_attack()
+        profile = attack.profiles["health-user"]
+        query = "flu symptoms treatment"
+        naive = smoothed_similarity(
+            [cosine_binary(query_vector(query), past)
+             for past in profile.query_vectors])
+        fast = attack.similarity(query, "health-user")
+        assert fast == pytest.approx(naive, abs=1e-9)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            SimAttack({}, alpha=0.0)
+
+
+class TestAttribute:
+    def test_attributes_matching_query(self):
+        attack = make_attack()
+        assert attack.attribute("flu symptoms headache") == "health-user"
+
+    def test_below_threshold_returns_none(self):
+        attack = make_attack(threshold=0.99)
+        assert attack.attribute("flu") is None
+
+    def test_unknown_terms_return_none(self):
+        attack = make_attack()
+        assert attack.attribute("xylophone zebra") is None
+
+    def test_ambiguous_tie_returns_none(self):
+        profiles = {
+            "a": UserProfile("a"),
+            "b": UserProfile("b"),
+        }
+        profiles["a"].add_query("shared term")
+        profiles["b"].add_query("shared term")
+        attack = SimAttack(profiles)
+        assert attack.attribute("shared term") is None
+
+
+class TestClassifyReal:
+    def test_profile_query_classified_real(self):
+        attack = make_attack()
+        assert attack.classify_real("flu symptoms", "health-user")
+
+    def test_rss_like_fake_classified_fake(self):
+        attack = make_attack()
+        assert not attack.classify_real("celebrity gossip update",
+                                        "health-user")
+
+
+class TestGroupAttacks:
+    def test_pick_real_identified(self):
+        attack = make_attack()
+        subqueries = ["random words here", "flu symptoms", "more noise"]
+        assert attack.pick_real_identified(subqueries, "health-user") == 1
+
+    def test_pick_real_anonymous(self):
+        attack = make_attack()
+        subqueries = ["zzz yyy", "football scores playoffs", "qqq www"]
+        index, user = attack.pick_real_anonymous(subqueries)
+        assert index == 1
+        assert user == "sports-user"
+
+    def test_pick_real_anonymous_below_threshold(self):
+        attack = make_attack(threshold=0.999)
+        index, user = attack.pick_real_anonymous(["zzz", "qqq"])
+        assert user is None
+
+    def test_realistic_fakes_confuse_group_attack(self):
+        attack = make_attack()
+        # The fake is a verbatim past query of the *other* user: the
+        # joint argmax may now lock onto the fake — CYCLOSA/X-Search's
+        # core advantage over synthetic fakes.
+        subqueries = ["flu symptoms", "football scores"]
+        index, user = attack.pick_real_anonymous(subqueries)
+        assert user in ("health-user", "sports-user")

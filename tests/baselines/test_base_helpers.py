@@ -1,0 +1,69 @@
+"""Tests for the shared baseline helpers in baselines.base."""
+
+import random
+
+import pytest
+
+from repro.baselines.base import (
+    EngineObservation,
+    filter_by_query_terms,
+    hits_as_dicts,
+)
+from repro.searchengine.corpus import build_corpus
+from repro.searchengine.engine import OR_SEPARATOR, SearchEngine
+
+
+class TestEngineObservation:
+    def test_subqueries_plain(self):
+        obs = EngineObservation(identity="u", text="plain query",
+                                true_user="u")
+        assert obs.subqueries() == ["plain query"]
+
+    def test_subqueries_group(self):
+        text = OR_SEPARATOR.join(["one", "two", "three"])
+        obs = EngineObservation(identity="u", text=text, true_user="u",
+                                real_index=1)
+        assert obs.subqueries() == ["one", "two", "three"]
+        assert obs.subqueries()[obs.real_index] == "two"
+
+    def test_frozen(self):
+        obs = EngineObservation(identity="u", text="q", true_user="u")
+        with pytest.raises(AttributeError):
+            obs.text = "changed"
+
+
+class TestFilterByQueryTerms:
+    def test_keeps_title_matches(self):
+        hits = [{"url": "a", "title": ["flu", "season"], "snippet": []},
+                {"url": "b", "title": ["football"], "snippet": []}]
+        assert filter_by_query_terms("flu symptoms", hits) == ["a"]
+
+    def test_keeps_snippet_matches(self):
+        hits = [{"url": "a", "title": ["unrelated"],
+                 "snippet": ["symptoms"]}]
+        assert filter_by_query_terms("flu symptoms", hits) == ["a"]
+
+    def test_preserves_rank_order(self):
+        hits = [{"url": f"u{i}", "title": ["flu"], "snippet": []}
+                for i in range(5)]
+        assert filter_by_query_terms("flu", hits) == [f"u{i}"
+                                                      for i in range(5)]
+
+    def test_stopwords_do_not_match(self):
+        hits = [{"url": "a", "title": ["the", "and"], "snippet": []}]
+        assert filter_by_query_terms("the flu and", hits) == []
+
+    def test_missing_fields_tolerated(self):
+        hits = [{"url": "a"}]
+        assert filter_by_query_terms("anything", hits) == []
+
+
+class TestHitsAsDicts:
+    def test_shape_matches_engine_node_responses(self):
+        engine = SearchEngine(build_corpus(docs_per_topic=5, seed=1))
+        hits = hits_as_dicts(engine, "symptoms cancer")
+        assert hits
+        for hit in hits:
+            assert set(hit) == {"doc_id", "url", "score", "title",
+                                "snippet"}
+            assert isinstance(hit["title"], list)

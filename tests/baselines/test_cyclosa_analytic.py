@@ -1,0 +1,81 @@
+"""Tests for the analytic CYCLOSA pipeline."""
+
+import pytest
+
+from repro.baselines.cyclosa_analytic import CyclosaAnalytic
+from repro.core.sensitivity import SemanticAssessor
+
+
+@pytest.fixture
+def semantic():
+    return SemanticAssessor(wordnet_terms={"cancer", "therapy"},
+                            mode="wordnet")
+
+
+class TestProtection:
+    def test_individual_observations_distinct_relays(self, semantic):
+        system = CyclosaAnalytic(semantic, kmax=3, adaptive=False, seed=1)
+        observations = system.protect("alice", "flu symptoms")
+        identities = [o.identity for o in observations]
+        assert len(identities) == len(set(identities))
+        assert len(observations) == 4
+
+    def test_exactly_one_real(self, semantic):
+        system = CyclosaAnalytic(semantic, kmax=5, adaptive=False, seed=1)
+        observations = system.protect("alice", "flu symptoms")
+        reals = [o for o in observations if not o.is_fake]
+        assert len(reals) == 1 and reals[0].text == "flu symptoms"
+
+    def test_adaptive_sensitive_query_gets_kmax(self, semantic):
+        system = CyclosaAnalytic(semantic, kmax=4, adaptive=True, seed=1)
+        observations = system.protect("alice", "cancer therapy")
+        assert len(observations) == 5
+
+    def test_adaptive_fresh_neutral_query_gets_zero(self, semantic):
+        system = CyclosaAnalytic(semantic, kmax=4, adaptive=True, seed=1)
+        observations = system.protect("alice", "football scores")
+        assert len(observations) == 1
+
+    def test_adaptive_linkable_query_grows_k(self, semantic):
+        system = CyclosaAnalytic(semantic, kmax=4, adaptive=True, seed=1)
+        system.preload_history("alice", ["marathon training plan"] * 4)
+        observations = system.protect("alice", "marathon training plan")
+        assert len(observations) >= 3
+
+    def test_k_override(self, semantic):
+        system = CyclosaAnalytic(semantic, kmax=7, adaptive=True, seed=1)
+        observations = system.protect("alice", "cancer", k_override=2)
+        assert len(observations) == 3
+
+    def test_fakes_come_from_table(self, semantic):
+        system = CyclosaAnalytic(semantic, kmax=3, adaptive=False, seed=1)
+        table_snapshot = set(system.table.entries())
+        observations = system.protect("alice", "current")
+        for obs in observations:
+            if obs.is_fake:
+                assert obs.text in table_snapshot
+
+    def test_carried_queries_feed_table(self, semantic):
+        system = CyclosaAnalytic(semantic, kmax=1, adaptive=False, seed=1)
+        system.protect("alice", "grows the table")
+        assert "grows the table" in system.table
+
+    def test_k_history_tracks(self, semantic):
+        system = CyclosaAnalytic(semantic, kmax=3, adaptive=False, seed=1)
+        system.protect("a", "one")
+        system.protect("a", "two")
+        assert len(system.k_history) == 2
+
+    def test_group_ids_distinct(self, semantic):
+        system = CyclosaAnalytic(semantic, kmax=2, adaptive=False, seed=1)
+        first = {o.group_id for o in system.protect("a", "one")}
+        second = {o.group_id for o in system.protect("a", "two")}
+        assert first.isdisjoint(second)
+
+    def test_invalid_kmax(self, semantic):
+        with pytest.raises(ValueError):
+            CyclosaAnalytic(semantic, kmax=-1)
+
+    def test_table_i_properties(self, semantic):
+        system = CyclosaAnalytic(semantic, kmax=2, seed=1)
+        assert all(system.properties.values())  # the full Table I row

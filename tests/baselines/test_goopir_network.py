@@ -1,0 +1,56 @@
+"""Tests for the GooPIR network client."""
+
+import random
+
+import pytest
+
+from repro.baselines.goopir import GooPirClientNode
+from repro.net.latency import ConstantLatency
+from repro.net.simulator import Simulator
+from repro.net.transport import Network
+from repro.searchengine.corpus import build_corpus
+from repro.searchengine.engine import SearchEngine
+from repro.searchengine.node import SearchEngineNode
+
+
+@pytest.fixture
+def stack():
+    rng = random.Random(16)
+    sim = Simulator()
+    net = Network(sim, rng, default_latency=ConstantLatency(0.01))
+    engine_node = SearchEngineNode(
+        net, SearchEngine(build_corpus(docs_per_topic=10, seed=1)), rng,
+        processing=ConstantLatency(0.02))
+    client = GooPirClientNode(net, "client", rng, engine_node.address, k=3)
+    return sim, engine_node, client
+
+
+class TestGooPirClient:
+    def test_roundtrip_with_filtering(self, stack):
+        sim, engine_node, client = stack
+        results = []
+        client.search("symptoms cancer treatment", results.append)
+        sim.run()
+        assert results and results[0]["status"] == "ok"
+        from repro.text.tokenize import tokenize
+
+        terms = set(tokenize("symptoms cancer treatment"))
+        for hit in results[0]["hits"]:
+            visible = set(hit.get("title", [])) | set(hit.get("snippet", []))
+            assert terms & visible
+
+    def test_engine_sees_user_and_or_group(self, stack):
+        sim, engine_node, client = stack
+        client.search("goopir identity probe", lambda r: None)
+        sim.run()
+        entry = engine_node.tap.entries[0]
+        assert entry.identity == client.address  # no unlinkability
+        assert " OR " in entry.text
+        assert "goopir identity probe" in entry.text
+
+    def test_single_request_per_query(self, stack):
+        sim, engine_node, client = stack
+        client.search("one", lambda r: None)
+        client.search("two", lambda r: None)
+        sim.run()
+        assert len(engine_node.tap) == 2  # one OR group each

@@ -1,0 +1,158 @@
+"""Tests for the TrackMeNot, GooPIR and PEAS analytic baselines."""
+
+import pytest
+
+from repro.baselines.base import or_aggregate
+from repro.baselines.goopir import GooPir
+from repro.baselines.peas import CooccurrenceModel, Peas
+from repro.baselines.trackmenot import RssFeedSource, TrackMeNot
+from repro.searchengine.corpus import build_corpus
+from repro.searchengine.engine import OR_SEPARATOR, SearchEngine
+from repro.text.tokenize import tokenize
+import random
+
+
+class TestOrAggregate:
+    def test_contains_real_at_reported_index(self):
+        rng = random.Random(1)
+        text, index = or_aggregate("real", ["f1", "f2"], rng)
+        assert text.split(OR_SEPARATOR)[index] == "real"
+
+    def test_no_fakes(self):
+        rng = random.Random(1)
+        text, index = or_aggregate("real", [], rng)
+        assert text == "real" and index == 0
+
+    def test_position_varies(self):
+        rng = random.Random(2)
+        positions = {or_aggregate("real", ["a", "b", "c"], rng)[1]
+                     for _ in range(40)}
+        assert len(positions) == 4
+
+
+class TestTrackMeNot:
+    def test_fakes_under_user_identity(self):
+        system = TrackMeNot(fakes_per_query=3, seed=1)
+        observations = system.protect("alice", "flu symptoms")
+        assert len(observations) == 4
+        assert all(o.identity == "alice" for o in observations)
+        assert sum(o.is_fake for o in observations) == 3
+
+    def test_real_query_first_and_verbatim(self):
+        system = TrackMeNot(seed=1)
+        observations = system.protect("alice", "flu symptoms")
+        assert observations[0].text == "flu symptoms"
+        assert not observations[0].is_fake
+
+    def test_rss_fakes_look_like_headlines(self):
+        feed = RssFeedSource(seed=2)
+        fakes = [feed.next_fake() for _ in range(20)]
+        assert all(1 <= len(fake.split()) <= 4 for fake in fakes)
+        assert len(set(fakes)) > 10
+
+    def test_zero_fakes_config(self):
+        system = TrackMeNot(fakes_per_query=0, seed=1)
+        assert len(system.protect("a", "q")) == 1
+
+    def test_negative_fakes_rejected(self):
+        with pytest.raises(ValueError):
+            TrackMeNot(fakes_per_query=-1)
+
+
+class TestGooPir:
+    def test_single_or_group(self):
+        system = GooPir(k=3, seed=1)
+        observations = system.protect("alice", "flu symptoms")
+        assert len(observations) == 1
+        obs = observations[0]
+        assert obs.identity == "alice"
+        assert len(obs.subqueries()) == 4
+        assert obs.subqueries()[obs.real_index] == "flu symptoms"
+
+    def test_fakes_match_query_width(self):
+        system = GooPir(k=5, seed=1)
+        obs = system.protect("alice", "three word query")[0]
+        for index, subquery in enumerate(obs.subqueries()):
+            if index != obs.real_index:
+                assert 2 <= len(subquery.split()) <= 4
+
+    def test_filtering_loses_some_results(self):
+        engine = SearchEngine(build_corpus(docs_per_topic=20, seed=1))
+        system = GooPir(k=3, seed=1)
+        query = "symptoms cancer treatment"
+        observations = system.protect("alice", query)
+        returned = system.results_for(engine, query, observations)
+        reference = [h.url for h in engine.search(query)]
+        assert set(returned) != set(reference)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            GooPir(k=-1)
+
+
+class TestCooccurrenceModel:
+    def test_observe_and_generate(self):
+        model = CooccurrenceModel(random.Random(1))
+        for query in ("flu symptoms", "flu vaccine", "cancer symptoms"):
+            model.observe(query)
+        assert len(model) == 4
+        fake = model.generate_fake(2)
+        assert all(term in {"flu", "symptoms", "vaccine", "cancer"}
+                   for term in fake.split())
+
+    def test_generate_from_empty_model(self):
+        model = CooccurrenceModel(random.Random(1))
+        assert model.generate_fake(3)  # falls back to a stock phrase
+
+    def test_walk_follows_cooccurrence(self):
+        model = CooccurrenceModel(random.Random(5))
+        # "alpha beta" always co-occur; "gamma" never with them.
+        for _ in range(50):
+            model.observe("alpha beta")
+            model.observe("gamma delta")
+        pairs = [model.generate_fake(2, teleport=0.0) for _ in range(30)]
+        crossings = sum(1 for fake in pairs
+                        if set(fake.split()) == {"alpha", "delta"}
+                        or set(fake.split()) == {"gamma", "beta"})
+        assert crossings == 0
+
+
+class TestPeas:
+    def test_identity_is_issuer(self):
+        system = Peas(k=3, seed=1)
+        system.prime(["past query one", "past query two"])
+        obs = system.protect("alice", "flu symptoms")[0]
+        assert obs.identity == Peas.ISSUER_IDENTITY
+        assert obs.true_user == "alice"
+
+    def test_group_contains_real(self):
+        system = Peas(k=3, seed=1)
+        system.prime(["some priming queries here"])
+        obs = system.protect("alice", "flu symptoms")[0]
+        assert obs.subqueries()[obs.real_index] == "flu symptoms"
+        assert len(obs.subqueries()) == 4
+
+    def test_fakes_use_observed_vocabulary(self):
+        system = Peas(k=2, seed=1)
+        system.prime(["football basketball", "tennis golf"])
+        obs = system.protect("alice", "hockey games")[0]
+        fake_terms = set()
+        for index, subquery in enumerate(obs.subqueries()):
+            if index != obs.real_index:
+                fake_terms.update(tokenize(subquery))
+        known = {"football", "basketball", "tennis", "golf", "hockey",
+                 "games"}
+        assert fake_terms <= known
+
+    def test_fakes_never_echo_current_query(self):
+        system = Peas(k=3, seed=1)
+        system.prime(["a b", "c d"])
+        for _ in range(10):
+            obs = system.protect("alice", "unique current query")[0]
+            for index, subquery in enumerate(obs.subqueries()):
+                if index != obs.real_index:
+                    assert subquery != "unique current query"
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            Peas(k=-2)

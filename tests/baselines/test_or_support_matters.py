@@ -1,0 +1,71 @@
+"""§II-A3: 'the logical OR operator ... is not natively supported by
+all search engines and is impractical as the search engine returns
+results only related to the exact query, with a direct impact on the
+accuracy of the corresponding private Web search mechanism.'
+
+These tests quantify that remark: the same GooPIR pipeline against an
+engine with and without native OR support.
+"""
+
+import pytest
+
+from repro.baselines.goopir import GooPir
+from repro.metrics.accuracy import correctness_completeness, mean_accuracy
+from repro.searchengine.corpus import build_corpus
+from repro.searchengine.engine import SearchEngine
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus(docs_per_topic=20, seed=5)
+
+
+def goopir_accuracy(engine, queries, k=3):
+    system = GooPir(k=k, seed=5)
+    scores = []
+    for query in queries:
+        reference = [hit.url for hit in engine.search(query)]
+        observations = system.protect("user", query)
+        returned = system.results_for(engine, query, observations)
+        scores.append(correctness_completeness(reference, returned))
+    return mean_accuracy(scores)
+
+
+QUERIES = ["symptoms cancer treatment", "football league scores",
+           "mortgage refinance rates", "hotel booking paris",
+           "laptop processor memory"]
+
+
+class TestOrSupportImpact:
+    def test_native_or_beats_no_or(self, corpus):
+        native = goopir_accuracy(
+            SearchEngine(corpus, or_support="native"), QUERIES)
+        without = goopir_accuracy(
+            SearchEngine(corpus, or_support="none"), QUERIES)
+        assert native.completeness > without.completeness
+
+    def test_no_or_supports_collapses_relevance(self, corpus):
+        """Without native OR, the whole group is one bag of words: the
+        real query's terms drown among the fakes' and the page barely
+        overlaps the true answer."""
+        without = goopir_accuracy(
+            SearchEngine(corpus, or_support="none"), QUERIES, k=7)
+        assert without.completeness < 0.4
+
+    def test_cyclosa_is_immune_to_engine_or_semantics(self, corpus):
+        """CYCLOSA never uses OR, so the engine's OR behaviour is
+        irrelevant to it — the §II-A3 problem simply doesn't apply."""
+        from repro.baselines.cyclosa_analytic import CyclosaAnalytic
+        from repro.core.sensitivity import SemanticAssessor
+
+        for or_support in ("native", "none"):
+            engine = SearchEngine(corpus, or_support=or_support)
+            system = CyclosaAnalytic(SemanticAssessor(), kmax=3,
+                                     adaptive=False, seed=5)
+            scores = []
+            for query in QUERIES:
+                reference = [hit.url for hit in engine.search(query)]
+                observations = system.protect("user", query)
+                returned = system.results_for(engine, query, observations)
+                scores.append(correctness_completeness(reference, returned))
+            assert mean_accuracy(scores).perfect

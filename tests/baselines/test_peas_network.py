@@ -1,0 +1,128 @@
+"""Tests for the PEAS two-server network version (Fig 2c)."""
+
+import random
+
+import pytest
+
+from repro.baselines.peas import PeasClientNode, PeasIssuerNode, PeasProxyNode
+from repro.net.latency import ConstantLatency
+from repro.net.simulator import Simulator
+from repro.net.transport import Network
+from repro.searchengine.corpus import build_corpus
+from repro.searchengine.engine import SearchEngine
+from repro.searchengine.node import SearchEngineNode
+
+
+@pytest.fixture
+def stack():
+    rng = random.Random(12)
+    sim = Simulator()
+    net = Network(sim, rng, default_latency=ConstantLatency(0.01))
+    engine_node = SearchEngineNode(
+        net, SearchEngine(build_corpus(docs_per_topic=10, seed=1)), rng,
+        processing=ConstantLatency(0.05))
+    issuer = PeasIssuerNode(net, rng, engine_node.address, k=2)
+    issuer.prime(["symptoms cancer", "football scores",
+                  "hotel booking paris", "mortgage refinance rates"])
+    proxy = PeasProxyNode(net, issuer.address)
+    client = PeasClientNode(net, "client", rng, proxy, issuer)
+    return sim, net, engine_node, issuer, proxy, client
+
+
+class TestPeasNetwork:
+    def test_search_roundtrip(self, stack):
+        sim, net, engine_node, issuer, proxy, client = stack
+        results = []
+        client.search("symptoms cancer treatment", results.append)
+        sim.run()
+        assert results and results[0]["status"] == "ok"
+        assert results[0]["hits"]
+
+    def test_engine_sees_issuer_identity_and_group(self, stack):
+        sim, net, engine_node, issuer, proxy, client = stack
+        client.search("identity probe query", lambda r: None)
+        sim.run()
+        entry = engine_node.tap.entries[0]
+        assert entry.identity == issuer.address
+        assert " OR " in entry.text
+        assert "identity probe query" in entry.text
+
+    def test_proxy_sees_only_ciphertext(self, stack):
+        sim, net, engine_node, issuer, proxy, client = stack
+        seen = []
+        original_send = net.send
+
+        def tap(src, dst, kind, payload, size_bytes=None):
+            if dst == proxy.address and kind.startswith("peas"):
+                seen.append(payload)
+            return original_send(src, dst, kind, payload, size_bytes)
+
+        net.send = tap
+        client.search("proxy blindness probe", lambda r: None)
+        sim.run()
+        assert seen
+        for payload in seen:
+            assert isinstance(payload, (bytes, bytearray))
+            assert b"blindness probe" not in bytes(payload)
+
+    def test_issuer_never_learns_client_identity(self, stack):
+        sim, net, engine_node, issuer, proxy, client = stack
+        # The issuer only ever receives messages whose transport source
+        # is the proxy — the non-collusion split.
+        sources = []
+        original_send = net.send
+
+        def tap(src, dst, kind, payload, size_bytes=None):
+            if dst == issuer.address and kind == "peas.req":
+                sources.append(src)
+            return original_send(src, dst, kind, payload, size_bytes)
+
+        net.send = tap
+        client.search("issuer blindness probe", lambda r: None)
+        sim.run()
+        assert sources and all(src == proxy.address for src in sources)
+
+    def test_response_encrypted_end_to_end(self, stack):
+        sim, net, engine_node, issuer, proxy, client = stack
+        # The proxy relays the response but cannot read it: it is sealed
+        # under the per-request key the client chose.
+        relayed = []
+        original_send = net.send
+
+        def tap(src, dst, kind, payload, size_bytes=None):
+            if src == proxy.address and dst == client.address:
+                relayed.append(payload)
+            return original_send(src, dst, kind, payload, size_bytes)
+
+        net.send = tap
+        results = []
+        client.search("response privacy probe", results.append)
+        sim.run()
+        assert results and results[0]["hits"] is not None
+        inner = [p["payload"] for p in relayed
+                 if isinstance(p, dict) and "payload" in p]
+        assert inner
+        assert all(isinstance(payload, (bytes, bytearray))
+                   for payload in inner)
+
+    def test_filtering_applied_client_side(self, stack):
+        sim, net, engine_node, issuer, proxy, client = stack
+        results = []
+        client.search("symptoms cancer", results.append)
+        sim.run()
+        from repro.text.tokenize import tokenize
+
+        terms = set(tokenize("symptoms cancer"))
+        for hit in results[0]["hits"]:
+            visible = set(hit.get("title", [])) | set(hit.get("snippet", []))
+            assert terms & visible
+
+    def test_garbage_to_issuer_dropped(self, stack):
+        sim, net, engine_node, issuer, proxy, client = stack
+        outcomes = []
+        client.node.request(proxy.address, b"garbage", outcomes.append,
+                            timeout=3.0,
+                            on_timeout=lambda: outcomes.append("timeout"),
+                            kind="peas")
+        sim.run()
+        assert outcomes == ["timeout"]

@@ -1,0 +1,78 @@
+"""Tests for the TrackMeNot network client (periodic background fakes)."""
+
+import random
+
+import pytest
+
+from repro.baselines.trackmenot import TrackMeNotClientNode
+from repro.net.latency import ConstantLatency
+from repro.net.simulator import Simulator
+from repro.net.transport import Network
+from repro.searchengine.corpus import build_corpus
+from repro.searchengine.engine import SearchEngine
+from repro.searchengine.node import SearchEngineNode
+
+
+@pytest.fixture
+def stack():
+    rng = random.Random(14)
+    sim = Simulator()
+    net = Network(sim, rng, default_latency=ConstantLatency(0.01))
+    engine_node = SearchEngineNode(
+        net, SearchEngine(build_corpus(docs_per_topic=8, seed=1)), rng,
+        processing=ConstantLatency(0.02))
+    client = TrackMeNotClientNode(net, "client", rng, engine_node.address,
+                                  fake_interval=20.0, seed=1)
+    return sim, engine_node, client
+
+
+class TestTrackMeNotClient:
+    def test_background_fakes_flow_without_user_activity(self, stack):
+        sim, engine_node, client = stack
+        client.start()
+        sim.run(until=300)
+        fakes = [e for e in engine_node.tap.entries if e.is_fake]
+        assert len(fakes) >= 5
+        assert all(e.identity == client.address for e in fakes)
+
+    def test_real_search_full_accuracy(self, stack):
+        sim, engine_node, client = stack
+        results = []
+        client.search("symptoms cancer", results.append)
+        sim.run(until=10)
+        assert results and results[0]["status"] == "ok"
+        direct = engine_node.engine.search("symptoms cancer")
+        assert [h["url"] for h in results[0]["hits"]] == \
+            [h.url for h in direct]
+
+    def test_engine_knows_the_user(self, stack):
+        sim, engine_node, client = stack
+        client.search("identity leak probe", lambda r: None)
+        sim.run(until=10)
+        entry = next(e for e in engine_node.tap.entries
+                     if e.text == "identity leak probe")
+        assert entry.identity == client.address  # no unlinkability
+
+    def test_fake_rate_matches_interval(self, stack):
+        sim, engine_node, client = stack
+        client.start()
+        sim.run(until=2000)
+        # Poisson at 1/20 s over 2000 s ≈ 100 fakes.
+        assert 60 <= client.fakes_sent <= 140
+
+    def test_stop_halts_the_clock(self, stack):
+        sim, engine_node, client = stack
+        client.start()
+        sim.run(until=100)
+        client.stop()
+        sent = client.fakes_sent
+        sim.run(until=400)
+        assert client.fakes_sent == sent
+
+    def test_start_idempotent(self, stack):
+        sim, engine_node, client = stack
+        client.start()
+        client.start()
+        sim.run(until=100)
+        # A double start must not double the rate.
+        assert client.fakes_sent <= 12

@@ -1,0 +1,45 @@
+"""Shared fixtures.
+
+Everything seeded; every fixture that is expensive to build is session-
+scoped and treated as read-only by the tests that use it.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets.aol import generate_aol_log
+from repro.datasets.split import train_test_split
+from repro.net.latency import ConstantLatency
+from repro.net.simulator import Simulator
+from repro.net.transport import Network
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG, fresh per test."""
+    return random.Random(1234)
+
+
+@pytest.fixture
+def simulator():
+    return Simulator()
+
+
+@pytest.fixture
+def network(simulator, rng):
+    """A simulated network with constant 10 ms links."""
+    return Network(simulator, rng, default_latency=ConstantLatency(0.01))
+
+
+@pytest.fixture(scope="session")
+def small_log():
+    """A small synthetic AOL log (session-scoped, do not mutate)."""
+    return generate_aol_log(num_users=30, mean_queries_per_user=40, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_split(small_log):
+    return train_test_split(small_log)

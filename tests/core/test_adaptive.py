@@ -1,0 +1,50 @@
+"""Tests for the adaptive protection rule (§V-B)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.adaptive import choose_k
+from repro.core.sensitivity import SensitivityReport
+
+
+def report(semantic: bool, linkability: float) -> SensitivityReport:
+    return SensitivityReport(query="q", semantic_sensitive=semantic,
+                             linkability=linkability)
+
+
+class TestChooseK:
+    def test_sensitive_gets_kmax(self):
+        assert choose_k(report(True, 0.0), kmax=7) == 7
+
+    def test_sensitive_overrides_linkability(self):
+        assert choose_k(report(True, 0.1), kmax=7) == 7
+
+    def test_zero_linkability_gets_zero(self):
+        assert choose_k(report(False, 0.0), kmax=7) == 0
+
+    def test_full_linkability_gets_kmax(self):
+        assert choose_k(report(False, 1.0), kmax=7) == 7
+
+    def test_linear_projection(self):
+        assert choose_k(report(False, 0.5), kmax=7) == 4  # round(3.5)
+        assert choose_k(report(False, 0.3), kmax=7) == 2  # round(2.1)
+
+    def test_kmax_zero(self):
+        assert choose_k(report(True, 1.0), kmax=0) == 0
+
+    def test_negative_kmax_rejected(self):
+        with pytest.raises(ValueError):
+            choose_k(report(False, 0.5), kmax=-1)
+
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+           st.integers(min_value=0, max_value=20))
+    def test_property_bounds(self, linkability, kmax):
+        k = choose_k(report(False, linkability), kmax)
+        assert 0 <= k <= kmax
+
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+           st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_property_monotone_in_linkability(self, a, b):
+        low, high = sorted((a, b))
+        assert (choose_k(report(False, low), 7)
+                <= choose_k(report(False, high), 7))

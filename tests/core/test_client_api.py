@@ -1,0 +1,67 @@
+"""Public-API surface tests for CyclosaNetwork/CyclosaUser/SearchResult."""
+
+import pytest
+
+from repro.core.client import CyclosaNetwork, SearchResult
+from repro.searchengine.corpus import build_corpus
+
+
+class TestSearchResult:
+    def test_ok_and_documents(self):
+        result = SearchResult(query="q", k=2, status="ok",
+                              hits=[{"url": "u1"}, {"url": "u2"}],
+                              latency=0.5)
+        assert result.ok
+        assert result.documents == ["u1", "u2"]
+
+    def test_failure_states(self):
+        for status in ("captcha", "relay-failure", "no-peers", "timeout"):
+            result = SearchResult(query="q", k=0, status=status, hits=[],
+                                  latency=1.0)
+            assert not result.ok
+            assert result.documents == []
+
+
+class TestDeploymentOptions:
+    def test_custom_corpus_is_served(self):
+        corpus = build_corpus(docs_per_topic=6, seed=99)
+        deployment = CyclosaNetwork.create(num_nodes=6, seed=1,
+                                           corpus=corpus,
+                                           warmup_seconds=30)
+        assert deployment.engine_node.engine.corpus is corpus
+        result = deployment.node(0).search("symptoms cancer",
+                                           k_override=1)
+        assert result.ok
+
+    def test_zero_warmup_still_functions(self):
+        deployment = CyclosaNetwork.create(num_nodes=6, seed=2,
+                                           warmup_seconds=0)
+        # Engine handshake + gossip happen lazily during the search.
+        result = deployment.node(0).search("cold start probe",
+                                           k_override=1, max_wait=300.0)
+        assert result.status in ("ok", "no-peers")
+
+    def test_user_handles_are_cached(self):
+        deployment = CyclosaNetwork.create(num_nodes=6, seed=3,
+                                           warmup_seconds=30)
+        assert deployment.node(1) is deployment.node(1)
+
+    def test_engine_log_grows_monotonically(self):
+        deployment = CyclosaNetwork.create(num_nodes=6, seed=4,
+                                           warmup_seconds=30)
+        before = len(deployment.engine_log)
+        deployment.node(0).search("monotone probe", k_override=1)
+        assert len(deployment.engine_log) > before
+
+    def test_search_timeout_status(self):
+        deployment = CyclosaNetwork.create(num_nodes=6, seed=5,
+                                           warmup_seconds=30)
+        # Kill all peers so nothing can answer, and disable retries'
+        # chance to finish within the tiny wait budget.
+        for victim in deployment.nodes[1:]:
+            victim.pss.stop()  # a crashed host stops gossiping too
+            deployment.network.unregister(victim.address)
+        result = deployment.node(0).search("will time out",
+                                           k_override=1, max_wait=0.5)
+        assert result.status in ("timeout", "relay-failure", "no-peers")
+        assert not result.ok

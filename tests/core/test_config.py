@@ -1,0 +1,33 @@
+"""Tests for CyclosaConfig validation."""
+
+import pytest
+
+from repro.core.config import CyclosaConfig
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = CyclosaConfig()
+        assert config.kmax == 7
+        assert set(config.sensitive_topics) == {"health", "sex", "politics",
+                                                "religion"}
+
+    def test_invalid_kmax(self):
+        with pytest.raises(ValueError):
+            CyclosaConfig(kmax=-1)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            CyclosaConfig(smoothing_alpha=0.0)
+
+    def test_invalid_table_capacity(self):
+        with pytest.raises(ValueError):
+            CyclosaConfig(table_capacity=0)
+
+    def test_custom_topics_allowed(self):
+        config = CyclosaConfig(sensitive_topics=("health", "finances"))
+        assert "finances" in config.sensitive_topics
+
+    def test_empty_topic_name_rejected(self):
+        with pytest.raises(ValueError):
+            CyclosaConfig(sensitive_topics=("health", ""))

@@ -1,0 +1,240 @@
+"""Tests for the CYCLOSA enclave's trusted logic."""
+
+import random
+
+import pytest
+
+from repro.core.enclave import CyclosaEnclave
+from repro.net.tls import SecureChannel, _directional_keys
+from repro.sgx.enclave import EnclaveHost
+from repro.sgx.errors import EnclaveIsolationError
+
+
+def paired_channels(secret: bytes, peer_a: str, peer_b: str):
+    send_a, recv_a = _directional_keys(secret, initiator=True)
+    send_b, recv_b = _directional_keys(secret, initiator=False)
+    return (SecureChannel(peer=peer_b, send_key=send_a, recv_key=recv_a),
+            SecureChannel(peer=peer_a, send_key=send_b, recv_key=recv_b))
+
+
+@pytest.fixture
+def rng():
+    return random.Random(9)
+
+
+@pytest.fixture
+def host(rng):
+    return EnclaveHost(rng)
+
+
+@pytest.fixture
+def enclave(host):
+    return host.create_enclave(CyclosaEnclave, table_capacity=100)
+
+
+@pytest.fixture
+def wired(enclave, rng):
+    """Enclave with a client peer channel and an engine channel."""
+    client_end, relay_end = paired_channels(b"p" * 32, "client", "relay")
+    engine_out, engine_end = paired_channels(b"e" * 32, "relay", "engine")
+    enclave.install_peer_channel("client", relay_end)
+    enclave.install_engine_channel(engine_out)
+    return enclave, client_end, engine_end
+
+
+class TestChannels:
+    def test_install_and_query(self, enclave, rng):
+        a, b = paired_channels(b"x" * 32, "n1", "n2")
+        assert not enclave.has_peer_channel("n2")
+        enclave.install_peer_channel("n2", a)
+        assert enclave.has_peer_channel("n2")
+        enclave.drop_peer_channel("n2")
+        assert not enclave.has_peer_channel("n2")
+
+    def test_engine_channel(self, enclave, rng):
+        assert not enclave.has_engine_channel()
+        a, _ = paired_channels(b"x" * 32, "relay", "engine")
+        enclave.install_engine_channel(a)
+        assert enclave.has_engine_channel()
+
+    def test_trusted_state_isolated(self, enclave):
+        with pytest.raises(EnclaveIsolationError):
+            _ = enclave.trusted
+
+
+class TestTable:
+    def test_seed_table(self, enclave):
+        grew = enclave.seed_table(["q1", "q2", "q2"])
+        assert grew == 2
+        assert enclave.table_size() == 2
+
+    def test_seeding_charges_epc(self, enclave, host):
+        before = host.epc.usage(enclave.enclave_id)
+        enclave.seed_table([f"query number {i}" for i in range(300)])
+        assert host.epc.usage(enclave.enclave_id) > before
+
+
+class TestProtection:
+    def _install_relays(self, enclave, names):
+        ends = {}
+        for name in names:
+            local, remote = paired_channels(
+                name.encode().ljust(32, b"_"), "me", name)
+            enclave.install_peer_channel(name, local)
+            ends[name] = remote
+        return ends
+
+    def test_batch_covers_relays_once(self, enclave):
+        enclave.seed_table([f"fake {i}" for i in range(10)])
+        ends = self._install_relays(enclave, ["r1", "r2", "r3"])
+        batch = enclave.build_protected_batch("real query", 2,
+                                              ["r1", "r2", "r3"])
+        assert sorted(relay for relay, _ in batch) == ["r1", "r2", "r3"]
+
+    def test_exactly_one_real_query(self, enclave):
+        enclave.seed_table([f"fake {i}" for i in range(10)])
+        ends = self._install_relays(enclave, ["r1", "r2", "r3"])
+        batch = enclave.build_protected_batch("real query", 2,
+                                              ["r1", "r2", "r3"])
+        texts = []
+        for relay, sealed in batch:
+            record = ends[relay].open(sealed)
+            texts.append((record["query"], record["meta"]["is_fake"]))
+        real = [q for q, fake in texts if not fake]
+        assert real == ["real query"]
+        fakes = [q for q, fake in texts if fake]
+        assert len(fakes) == 2
+        assert all(q != "real query" for q in fakes)
+
+    def test_wrong_relay_count_rejected(self, enclave):
+        self._install_relays(enclave, ["r1"])
+        with pytest.raises(ValueError):
+            enclave.build_protected_batch("q", 2, ["r1"])
+
+    def test_missing_channel_rejected(self, enclave):
+        with pytest.raises(KeyError):
+            enclave.build_protected_batch("q", 0, ["stranger"])
+
+    def test_empty_table_degrades_to_zero_fakes(self, enclave):
+        self._install_relays(enclave, ["r1", "r2", "r3"])
+        batch = enclave.build_protected_batch("q", 2, ["r1", "r2", "r3"])
+        assert len(batch) == 1  # only the real query went out
+
+    def test_pending_token_tracking(self, enclave):
+        enclave.seed_table([f"fake {i}" for i in range(10)])
+        self._install_relays(enclave, ["r1", "r2"])
+        enclave.build_protected_batch("real", 1, ["r1", "r2"])
+        tokens = [enclave.pending_token_for_relay(r) for r in ("r1", "r2")]
+        assert sum(t is not None for t in tokens) == 1
+
+    def test_rebuild_real_moves_relay(self, enclave):
+        enclave.seed_table([f"fake {i}" for i in range(10)])
+        ends = self._install_relays(enclave, ["r1", "r2", "r3"])
+        enclave.build_protected_batch("real", 1, ["r1", "r2"])
+        old_relay = next(r for r in ("r1", "r2")
+                         if enclave.pending_token_for_relay(r))
+        token = enclave.pending_token_for_relay(old_relay)
+        new_token, sealed = enclave.rebuild_real(token, "r3")
+        assert enclave.pending_token_for_relay("r3") == new_token
+        record = ends["r3"].open(sealed)
+        assert record["query"] == "real"
+
+    def test_rebuild_unknown_token_rejected(self, enclave):
+        self._install_relays(enclave, ["r1"])
+        with pytest.raises(KeyError):
+            enclave.rebuild_real("ghost-token", "r1")
+
+
+class TestRelayPath:
+    def test_unwrap_stores_query_and_seals_for_engine(self, wired):
+        enclave, client_end, engine_end = wired
+        sealed = client_end.seal({"token": "t1", "query": "forwarded query",
+                                  "meta": {"true_user": "u1"}})
+        result = enclave.unwrap_forward("client", sealed)
+        assert result is not None
+        handle, for_engine = result
+        assert enclave.table_size() == 1  # stored as future fake
+        record = engine_end.open(for_engine)
+        assert record["query"] == "forwarded query"
+        assert record["meta"]["true_user"] == "u1"
+
+    def test_unwrap_from_unknown_peer_dropped(self, wired):
+        enclave, client_end, _ = wired
+        sealed = client_end.seal({"token": "t", "query": "q", "meta": {}})
+        assert enclave.unwrap_forward("stranger", sealed) is None
+
+    def test_unwrap_garbage_dropped(self, wired):
+        enclave, _, _ = wired
+        assert enclave.unwrap_forward("client", b"garbage") is None
+        assert enclave.table_size() == 0
+
+    def test_wrap_relay_response_roundtrip(self, wired):
+        enclave, client_end, engine_end = wired
+        sealed = client_end.seal({"token": "t42", "query": "q", "meta": {}})
+        handle, _ = enclave.unwrap_forward("client", sealed)
+        engine_reply = engine_end.seal(
+            {"status": "ok", "hits": [{"url": "u1", "doc_id": 1,
+                                       "score": 0.5}]})
+        out = enclave.wrap_relay_response(handle, engine_reply)
+        assert out is not None
+        src, sealed_response = out
+        assert src == "client"
+        response = client_end.open(sealed_response)
+        assert response["token"] == "t42"
+        assert response["hits"][0]["url"] == "u1"
+
+    def test_wrap_with_unknown_handle_dropped(self, wired):
+        enclave, _, engine_end = wired
+        reply = engine_end.seal({"status": "ok", "hits": []})
+        assert enclave.wrap_relay_response(999, reply) is None
+
+    def test_handle_single_use(self, wired):
+        enclave, client_end, engine_end = wired
+        sealed = client_end.seal({"token": "t", "query": "q", "meta": {}})
+        handle, _ = enclave.unwrap_forward("client", sealed)
+        reply = engine_end.seal({"status": "ok", "hits": []})
+        assert enclave.wrap_relay_response(handle, reply) is not None
+        reply2 = engine_end.seal({"status": "ok", "hits": []})
+        assert enclave.wrap_relay_response(handle, reply2) is None
+
+
+class TestResponseFiltering:
+    def test_real_response_surfaces(self, enclave):
+        enclave.seed_table([f"fake {i}" for i in range(5)])
+        local, remote = paired_channels(b"r" * 32, "me", "r1")
+        enclave.install_peer_channel("r1", local)
+        enclave.build_protected_batch("real query", 0, ["r1"])
+        token = enclave.pending_token_for_relay("r1")
+        response = remote.seal({"token": token, "status": "ok",
+                                "hits": [{"url": "u"}]})
+        result = enclave.open_relay_response("r1", response)
+        assert result is not None
+        assert result["query"] == "real query"
+
+    def test_fake_response_dropped_silently(self, enclave):
+        enclave.seed_table([f"fake {i}" for i in range(5)])
+        ends = {}
+        for name in ("r1", "r2"):
+            local, remote = paired_channels(
+                name.encode().ljust(32, b"x"), "me", name)
+            enclave.install_peer_channel(name, local)
+            ends[name] = remote
+        batch = enclave.build_protected_batch("real", 1, ["r1", "r2"])
+        real_relay = next(r for r in ("r1", "r2")
+                          if enclave.pending_token_for_relay(r))
+        fake_relay = "r2" if real_relay == "r1" else "r1"
+        # Dig out the fake's token by decrypting its record.
+        fake_sealed = next(s for r, s in batch if r == fake_relay)
+        fake_token = ends[fake_relay].open(fake_sealed)["token"]
+        response = ends[fake_relay].seal(
+            {"token": fake_token, "status": "ok", "hits": [{"url": "x"}]})
+        assert enclave.open_relay_response(fake_relay, response) is None
+
+    def test_unknown_token_dropped(self, enclave):
+        local, remote = paired_channels(b"r" * 32, "me", "r1")
+        enclave.install_peer_channel("r1", local)
+        response = remote.seal({"token": "bogus", "status": "ok", "hits": []})
+        assert enclave.open_relay_response("r1", response) is None
+
+    def test_response_from_unknown_relay_dropped(self, enclave):
+        assert enclave.open_relay_response("ghost", b"bytes") is None

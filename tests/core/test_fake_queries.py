@@ -1,0 +1,97 @@
+"""Tests for the past-queries table."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.fake_queries import PastQueryTable
+
+
+@pytest.fixture
+def rng():
+    return random.Random(6)
+
+
+class TestTable:
+    def test_add_and_len(self):
+        table = PastQueryTable(capacity=10)
+        assert table.add("query one")
+        assert len(table) == 1
+        assert "query one" in table
+
+    def test_add_returns_growth(self):
+        table = PastQueryTable(capacity=10)
+        assert table.add("q") is True
+        assert table.add("q") is False  # duplicate
+
+    def test_blank_rejected(self):
+        table = PastQueryTable(capacity=10)
+        assert table.add("   ") is False
+        assert len(table) == 0
+
+    def test_capacity_fifo_eviction(self):
+        table = PastQueryTable(capacity=3)
+        for index in range(5):
+            table.add(f"q{index}")
+        assert len(table) == 3
+        assert table.entries() == ["q2", "q3", "q4"]
+
+    def test_eviction_does_not_grow(self):
+        table = PastQueryTable(capacity=2)
+        table.add("a")
+        table.add("b")
+        assert table.add("c") is False  # one in, one out: net zero
+
+    def test_repeat_refreshes_position(self):
+        table = PastQueryTable(capacity=3)
+        for query in ("a", "b", "c"):
+            table.add(query)
+        table.add("a")  # refreshed to the back
+        table.add("d")  # evicts "b", not "a"
+        assert "a" in table and "b" not in table
+
+    def test_extend_counts_new(self):
+        table = PastQueryTable(capacity=10)
+        assert table.extend(["a", "b", "a", ""]) == 2
+
+    def test_sample_distinct(self, rng):
+        table = PastQueryTable(capacity=100)
+        table.extend([f"q{i}" for i in range(50)])
+        sample = table.sample(10, rng)
+        assert len(sample) == 10
+        assert len(set(sample)) == 10
+
+    def test_sample_excludes_real_query(self, rng):
+        table = PastQueryTable(capacity=10)
+        table.extend(["real", "fake1", "fake2"])
+        for _ in range(20):
+            assert "real" not in table.sample(2, rng, exclude="real")
+
+    def test_sample_more_than_available(self, rng):
+        table = PastQueryTable(capacity=10)
+        table.extend(["a", "b"])
+        assert sorted(table.sample(10, rng)) == ["a", "b"]
+
+    def test_sample_empty_table(self, rng):
+        assert PastQueryTable(capacity=5).sample(3, rng) == []
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            PastQueryTable(capacity=0)
+
+    @given(st.lists(st.text(alphabet="abcdef ", min_size=1, max_size=10),
+                    max_size=60),
+           st.integers(min_value=1, max_value=20))
+    def test_property_never_exceeds_capacity(self, queries, capacity):
+        table = PastQueryTable(capacity=capacity)
+        table.extend(queries)
+        assert len(table) <= capacity
+
+    @given(st.lists(st.text(alphabet="abc", min_size=1, max_size=5),
+                    min_size=1, max_size=30))
+    def test_property_entries_unique(self, queries):
+        table = PastQueryTable(capacity=10)
+        table.extend(queries)
+        entries = table.entries()
+        assert len(entries) == len(set(entries))

@@ -1,0 +1,49 @@
+"""Heterogeneous peer links (config.peer_heterogeneity_sigma)."""
+
+import pytest
+
+from repro.core.client import CyclosaNetwork
+from repro.core.config import CyclosaConfig
+from repro.metrics.latencystats import percentile
+
+
+def _latency_samples(config, seed=81, queries=30):
+    deployment = CyclosaNetwork.create(num_nodes=14, seed=seed,
+                                       config=config, warmup_seconds=40)
+    samples = []
+    for index in range(queries):
+        result = deployment.node(index % 4).search(
+            f"heterogeneity probe {index}", k_override=1)
+        if result.ok:
+            samples.append(result.latency)
+    return samples
+
+
+class TestHeterogeneity:
+    def test_engine_path_unaffected(self):
+        """The pair override to the engine wins over the node's access
+        model, so heterogeneity never slows the engine hop directly."""
+        config = CyclosaConfig(peer_heterogeneity_sigma=1.0)
+        deployment = CyclosaNetwork.create(num_nodes=6, seed=82,
+                                           config=config,
+                                           warmup_seconds=30)
+        model = deployment.network._latency_for(
+            deployment.nodes[0].address,
+            deployment.engine_node.address)
+        assert model.median == config.engine_link_median
+
+    def test_heterogeneity_widens_the_latency_spread(self):
+        homogeneous = _latency_samples(CyclosaConfig())
+        mixed = _latency_samples(
+            CyclosaConfig(peer_heterogeneity_sigma=0.8))
+        assert homogeneous and mixed
+
+        def spread(samples):
+            return (percentile(samples, 0.9) - percentile(samples, 0.1))
+
+        assert spread(mixed) > spread(homogeneous)
+
+    def test_all_queries_still_succeed(self):
+        samples = _latency_samples(
+            CyclosaConfig(peer_heterogeneity_sigma=0.8))
+        assert len(samples) == 30

@@ -1,0 +1,85 @@
+"""Failure-path tests for CyclosaNode: degraded views, missing engine,
+unresponsive relays."""
+
+import pytest
+
+from repro.core.client import CyclosaNetwork
+from repro.core.config import CyclosaConfig
+
+
+class TestDegradedOverlay:
+    def test_small_view_degrades_k_not_availability(self):
+        """With only 2 usable peers, a k=5 request degrades to the
+        available relay count instead of failing (§V-C: the real query
+        always goes out)."""
+        deployment = CyclosaNetwork.create(num_nodes=3, seed=71,
+                                           warmup_seconds=40)
+        result = deployment.node(0).search("degraded view probe",
+                                           k_override=5)
+        assert result.ok
+        assert result.k <= 2
+
+    def test_isolated_node_reports_no_peers(self):
+        """A node whose view is empty cannot protect anything; the
+        search fails fast with a clear status."""
+        deployment = CyclosaNetwork.create(num_nodes=4, seed=72,
+                                           warmup_seconds=40)
+        node = deployment.nodes[0]
+        node.pss.stop()
+        for address in node.pss.view.addresses():
+            node.pss.view.remove(address)
+        result = deployment.node(0).search("isolated probe", k_override=1)
+        assert result.status == "no-peers"
+        assert result.hits == []
+
+    def test_all_relays_dead_eventually_fails(self):
+        """When every selected relay is gone and no replacements
+        answer, the search terminates with a failure status rather
+        than hanging."""
+        config = CyclosaConfig(relay_timeout=1.0, max_retries=2)
+        deployment = CyclosaNetwork.create(num_nodes=6, seed=73,
+                                           config=config,
+                                           warmup_seconds=40)
+        # Kill everyone except the requester.
+        for victim in deployment.nodes[1:]:
+            victim.pss.stop()
+            deployment.network.unregister(victim.address)
+        result = deployment.node(0).search("doomed probe", k_override=2,
+                                           max_wait=300.0)
+        assert not result.ok
+        assert result.status in ("relay-failure", "no-peers", "timeout")
+
+    def test_relay_without_engine_channel_drops(self):
+        """A relay that never finished its engine handshake cannot
+        forward; the client times out on it and retries elsewhere."""
+        config = CyclosaConfig(relay_timeout=1.5, max_retries=3)
+        deployment = CyclosaNetwork.create(num_nodes=8, seed=74,
+                                           config=config,
+                                           warmup_seconds=40)
+        # Sabotage one relay's engine channel.
+        broken = deployment.nodes[3]
+        broken.enclave._depth += 1
+        broken.enclave.trusted["engine_channel"] = None
+        broken.enclave._depth -= 1
+        outcomes = [deployment.node(0).search(f"sabotage probe {i}",
+                                              k_override=2,
+                                              max_wait=240.0)
+                    for i in range(6)]
+        assert sum(1 for r in outcomes if r.ok) >= 5
+
+
+class TestStatsUnderFailure:
+    def test_retries_and_blacklists_counted(self):
+        config = CyclosaConfig(relay_timeout=1.0, max_retries=3)
+        deployment = CyclosaNetwork.create(num_nodes=10, seed=75,
+                                           config=config,
+                                           warmup_seconds=40)
+        # Make half the relays silently drop forwards.
+        for node in deployment.nodes[5:]:
+            node._handle_forward = lambda ctx: None
+        client = deployment.nodes[0]
+        for index in range(8):
+            deployment.node(0).search(f"counting probe {index}",
+                                      k_override=2, max_wait=240.0)
+        assert client.stats.blacklisted_peers > 0
+        assert client.stats.queries_issued == 8

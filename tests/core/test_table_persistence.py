@@ -1,0 +1,95 @@
+"""Sealed persistence of the past-queries table across restarts."""
+
+import random
+
+import pytest
+
+from repro.core.enclave import CyclosaEnclave
+from repro.net import wire
+from repro.sgx.enclave import EnclaveHost
+from repro.sgx.sealing import SealingError, SealingService
+
+
+@pytest.fixture
+def platform():
+    rng = random.Random(55)
+    host = EnclaveHost(rng)
+    sealing = SealingService(host.platform_id, rng)
+    return rng, host, sealing
+
+
+class TestSealedTable:
+    def test_restart_roundtrip(self, platform):
+        rng, host, sealing = platform
+        enclave = host.create_enclave(CyclosaEnclave)
+        enclave.seed_table(["query one", "query two", "query three"])
+        blob = enclave.seal_table(sealing)
+
+        # "Browser restart": destroy the enclave, create a fresh one.
+        host.destroy_enclave(enclave)
+        fresh = host.create_enclave(CyclosaEnclave)
+        assert fresh.table_size() == 0
+        restored = fresh.unseal_table(sealing, blob)
+        assert restored == 3
+        assert fresh.table_size() == 3
+
+    def test_host_cannot_read_blob(self, platform):
+        rng, host, sealing = platform
+        enclave = host.create_enclave(CyclosaEnclave)
+        enclave.seed_table(["other users secret query"])
+        blob = enclave.seal_table(sealing)
+        assert b"secret query" not in blob.ciphertext
+
+    def test_different_build_cannot_unseal(self, platform):
+        rng, host, sealing = platform
+
+        class ForkedEnclave(CyclosaEnclave):
+            ENCLAVE_VERSION = "2.0-fork"
+
+        enclave = host.create_enclave(CyclosaEnclave)
+        enclave.seed_table(["query"])
+        blob = enclave.seal_table(sealing)
+        forked = host.create_enclave(ForkedEnclave)
+        with pytest.raises(SealingError):
+            forked.unseal_table(sealing, blob)
+
+    def test_different_platform_cannot_unseal(self, platform):
+        rng, host, sealing = platform
+        enclave = host.create_enclave(CyclosaEnclave)
+        enclave.seed_table(["query"])
+        blob = enclave.seal_table(sealing)
+
+        other_rng = random.Random(66)
+        other_host = EnclaveHost(other_rng)
+        other_sealing = SealingService(other_host.platform_id, other_rng)
+        other_enclave = other_host.create_enclave(CyclosaEnclave)
+        with pytest.raises(SealingError):
+            other_enclave.unseal_table(other_sealing, blob)
+
+    def test_restore_merges_with_existing(self, platform):
+        rng, host, sealing = platform
+        enclave = host.create_enclave(CyclosaEnclave)
+        enclave.seed_table(["old one", "old two"])
+        blob = enclave.seal_table(sealing)
+        fresh = host.create_enclave(CyclosaEnclave)
+        fresh.seed_table(["new one", "old one"])  # overlap
+        restored = fresh.unseal_table(sealing, blob)
+        assert restored == 1  # only "old two" was new
+        assert fresh.table_size() == 3
+
+
+class TestNodeLevelPersistence:
+    def test_node_api(self):
+        from repro.core.client import CyclosaNetwork
+
+        deployment = CyclosaNetwork.create(num_nodes=6, seed=91,
+                                           warmup_seconds=30)
+        node = deployment.nodes[0]
+        size_before = node.enclave.table_size()
+        assert size_before > 0  # trends-seeded
+        blob = node.persist_table()
+        # A restarted node on the same platform restores everything.
+        fresh = deployment.nodes[0].host.create_enclave(
+            type(node.enclave))
+        restored = fresh.unseal_table(node.sealing, blob)
+        assert restored == size_before

@@ -1,0 +1,109 @@
+"""Tests for repro.crypto.rsa."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.rsa import RsaError, RsaKeyPair, is_probable_prime
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return RsaKeyPair.generate(bits=512, rng=random.Random(42))
+
+
+class TestMillerRabin:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 101, 7919):
+            assert is_probable_prime(p, rng=random.Random(0))
+
+    def test_small_composites(self):
+        for n in (0, 1, 4, 9, 561, 7917):
+            assert not is_probable_prime(n, rng=random.Random(0))
+
+    def test_carmichael_number_rejected(self):
+        # 561 = 3*11*17 fools Fermat but not Miller-Rabin.
+        assert not is_probable_prime(561, rng=random.Random(0))
+
+    def test_large_known_prime(self):
+        assert is_probable_prime((1 << 127) - 1, rng=random.Random(0))
+
+
+class TestKeyGeneration:
+    def test_deterministic_with_seed(self):
+        a = RsaKeyPair.generate(bits=256, rng=random.Random(5))
+        b = RsaKeyPair.generate(bits=256, rng=random.Random(5))
+        assert a.public.n == b.public.n
+
+    def test_modulus_size(self, keypair):
+        assert 511 <= keypair.public.n.bit_length() <= 512
+
+    def test_fingerprint_stable_and_distinct(self, keypair):
+        other = RsaKeyPair.generate(bits=256, rng=random.Random(6))
+        assert keypair.public.fingerprint() == keypair.public.fingerprint()
+        assert keypair.public.fingerprint() != other.public.fingerprint()
+
+
+class TestHybridEncryption:
+    def test_roundtrip(self, keypair):
+        rng = random.Random(1)
+        ciphertext = keypair.public.encrypt(b"the message", rng=rng)
+        assert keypair.decrypt(ciphertext) == b"the message"
+
+    def test_roundtrip_large_payload(self, keypair):
+        rng = random.Random(2)
+        payload = bytes(range(256)) * 64  # 16 KiB, far beyond modulus size
+        assert keypair.decrypt(keypair.public.encrypt(payload, rng=rng)) == payload
+
+    def test_wrong_key_rejected(self, keypair):
+        other = RsaKeyPair.generate(bits=512, rng=random.Random(7))
+        ciphertext = keypair.public.encrypt(b"secret", rng=random.Random(1))
+        with pytest.raises(RsaError):
+            other.decrypt(ciphertext)
+
+    def test_tampered_payload_rejected(self, keypair):
+        ciphertext = bytearray(keypair.public.encrypt(b"secret",
+                                                      rng=random.Random(1)))
+        ciphertext[-1] ^= 0x01
+        with pytest.raises(RsaError):
+            keypair.decrypt(bytes(ciphertext))
+
+    def test_truncated_rejected(self, keypair):
+        ciphertext = keypair.public.encrypt(b"secret", rng=random.Random(1))
+        with pytest.raises(RsaError):
+            keypair.decrypt(ciphertext[:10])
+
+    def test_randomised_encryption(self, keypair):
+        rng = random.Random(3)
+        assert (keypair.public.encrypt(b"m", rng=rng)
+                != keypair.public.encrypt(b"m", rng=rng))
+
+
+class TestSignatures:
+    def test_sign_verify(self, keypair):
+        signature = keypair.sign(b"message")
+        assert keypair.public.verify(b"message", signature)
+
+    def test_wrong_message_rejected(self, keypair):
+        signature = keypair.sign(b"message")
+        assert not keypair.public.verify(b"other", signature)
+
+    def test_wrong_key_rejected(self, keypair):
+        other = RsaKeyPair.generate(bits=512, rng=random.Random(8))
+        signature = keypair.sign(b"message")
+        assert not other.public.verify(b"message", signature)
+
+    def test_tampered_signature_rejected(self, keypair):
+        signature = bytearray(keypair.sign(b"message"))
+        signature[0] ^= 0x01
+        assert not keypair.public.verify(b"message", bytes(signature))
+
+    def test_wrong_length_signature_rejected(self, keypair):
+        assert not keypair.public.verify(b"message", b"\x00" * 8)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.binary(max_size=512))
+    def test_property_sign_verify_any_message(self, message):
+        keypair = RsaKeyPair.generate(bits=512, rng=random.Random(99))
+        assert keypair.public.verify(message, keypair.sign(message))

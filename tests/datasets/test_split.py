@@ -1,0 +1,51 @@
+"""Tests for the train/test split."""
+
+import pytest
+
+from repro.datasets.aol import QueryRecord, SyntheticAolLog, generate_aol_log
+from repro.datasets.split import train_test_split
+
+
+class TestSplit:
+    def test_fractions(self, small_log):
+        train, test = train_test_split(small_log)
+        total = len(small_log.records)
+        assert len(train.records) + len(test.records) == total
+        assert len(train.records) / total == pytest.approx(2 / 3, abs=0.05)
+
+    def test_temporal_order_per_user(self, small_log):
+        train, test = train_test_split(small_log)
+        for user in small_log.users:
+            train_times = [r.timestamp for r in train.queries_of(user)]
+            test_times = [r.timestamp for r in test.queries_of(user)]
+            if train_times and test_times:
+                # Adversary prior strictly precedes protected queries.
+                assert max(train_times) <= min(test_times)
+
+    def test_every_active_user_in_both(self, small_log):
+        train, test = train_test_split(small_log)
+        for user in small_log.users:
+            if len(small_log.queries_of(user)) >= 3:
+                assert train.queries_of(user)
+                assert test.queries_of(user)
+
+    def test_tiny_users_go_to_training(self):
+        records = [
+            QueryRecord(query_id=0, user_id="u", timestamp=1.0,
+                        text="only query", topic="sports",
+                        is_sensitive=False),
+        ]
+        log = SyntheticAolLog(records=records, users=["u"])
+        train, test = train_test_split(log)
+        assert len(train.records) == 1 and len(test.records) == 0
+
+    def test_invalid_fraction(self, small_log):
+        with pytest.raises(ValueError):
+            train_test_split(small_log, train_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_test_split(small_log, train_fraction=1.0)
+
+    def test_custom_fraction(self, small_log):
+        train, test = train_test_split(small_log, train_fraction=0.5)
+        total = len(small_log.records)
+        assert len(train.records) / total == pytest.approx(0.5, abs=0.06)

@@ -1,0 +1,40 @@
+"""Tests for the log statistics helper."""
+
+import pytest
+
+from repro.datasets.aol import SyntheticAolLog, generate_aol_log
+from repro.datasets.stats import describe
+
+
+class TestDescribe:
+    @pytest.fixture(scope="class")
+    def stats(self):
+        log = generate_aol_log(num_users=40, mean_queries_per_user=50,
+                               seed=7)
+        return describe(log)
+
+    def test_counts(self, stats):
+        assert stats.num_users == 40
+        assert stats.num_queries > 40 * 5
+
+    def test_sensitive_rate_near_target(self, stats):
+        assert 0.10 < stats.sensitive_rate < 0.25
+
+    def test_activity_skew_is_heavy(self, stats):
+        assert stats.activity_skew > 2.0
+
+    def test_user_overlap_is_low(self, stats):
+        # The distinctiveness SimAttack needs: users share little
+        # vocabulary.
+        assert stats.mean_user_overlap < 0.4
+
+    def test_terms_per_query_plausible(self, stats):
+        assert 1.0 <= stats.mean_terms_per_query <= 4.0
+
+    def test_rows_render(self, stats):
+        rows = stats.rows()
+        assert any("sensitive rate" in row[0] for row in rows)
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(ValueError):
+            describe(SyntheticAolLog(records=[], users=[]))

@@ -1,0 +1,38 @@
+"""Tests for the trending-queries bootstrap source."""
+
+import pytest
+
+from repro.datasets.trends import trending_queries
+from repro.datasets.vocabulary import (
+    SENSITIVE_TOPICS,
+    build_topic_vocabularies,
+)
+
+
+class TestTrends:
+    def test_count(self):
+        assert len(trending_queries(25)) == 25
+
+    def test_unique(self):
+        queries = trending_queries(50)
+        assert len(set(queries)) == 50
+
+    def test_deterministic(self):
+        assert trending_queries(20, seed=1) == trending_queries(20, seed=1)
+
+    def test_seed_matters(self):
+        assert trending_queries(20, seed=1) != trending_queries(20, seed=2)
+
+    def test_no_sensitive_terms(self):
+        # Trending queries come from neutral topics only — a node's
+        # bootstrap fakes must not leak sensitive-looking traffic.
+        vocabularies = build_topic_vocabularies()
+        sensitive_terms = set()
+        for topic in SENSITIVE_TOPICS:
+            sensitive_terms.update(vocabularies[topic].terms)
+        for query in trending_queries(100):
+            assert not set(query.split()) & sensitive_terms
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            trending_queries(0)

@@ -1,0 +1,62 @@
+"""Tests for repro.datasets.vocabulary."""
+
+from repro.datasets.vocabulary import (
+    ALL_TOPICS,
+    GENERAL_TERMS,
+    NEUTRAL_TOPICS,
+    SENSITIVE_TOPICS,
+    build_topic_vocabularies,
+)
+
+
+class TestTopics:
+    def test_sensitive_topics_match_google_policy(self):
+        # §V-A1: health, politics, sex, religion.
+        assert set(SENSITIVE_TOPICS) == {"health", "sex", "politics",
+                                         "religion"}
+
+    def test_topics_partition(self):
+        assert set(ALL_TOPICS) == set(SENSITIVE_TOPICS) | set(NEUTRAL_TOPICS)
+        assert not set(SENSITIVE_TOPICS) & set(NEUTRAL_TOPICS)
+
+
+class TestVocabularies:
+    def test_every_topic_has_vocabulary(self):
+        vocabularies = build_topic_vocabularies()
+        assert set(vocabularies) == set(ALL_TOPICS)
+
+    def test_sensitivity_flag(self):
+        vocabularies = build_topic_vocabularies()
+        assert vocabularies["health"].sensitive
+        assert not vocabularies["sports"].sensitive
+
+    def test_expansion_grows_vocabulary(self):
+        vocabularies = build_topic_vocabularies(extra_per_seed=2)
+        for vocabulary in vocabularies.values():
+            assert len(vocabulary.terms) > 3 * len(vocabulary.seeds)
+
+    def test_terms_unique_within_topic(self):
+        vocabularies = build_topic_vocabularies()
+        for vocabulary in vocabularies.values():
+            assert len(vocabulary.terms) == len(set(vocabulary.terms))
+
+    def test_contains_operator(self):
+        vocabularies = build_topic_vocabularies()
+        health = vocabularies["health"]
+        assert "symptoms" in health
+        assert "football" not in health
+
+    def test_seeds_subset_of_terms(self):
+        vocabularies = build_topic_vocabularies()
+        for vocabulary in vocabularies.values():
+            assert set(vocabulary.seeds) <= set(vocabulary.terms)
+
+    def test_general_terms_disjoint_from_seeds(self):
+        vocabularies = build_topic_vocabularies()
+        seeds = {seed for v in vocabularies.values() for seed in v.seeds}
+        assert not set(GENERAL_TERMS) & seeds
+
+    def test_deterministic(self):
+        a = build_topic_vocabularies()
+        b = build_topic_vocabularies()
+        assert all(a[t].terms == b[t].terms for t in ALL_TOPICS)

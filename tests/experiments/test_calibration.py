@@ -1,0 +1,50 @@
+"""Tests for the calibration sweep."""
+
+import pytest
+
+from repro.experiments.calibration import (
+    K0_ANCHOR,
+    TOR_ANCHOR,
+    best_point,
+    measure_point,
+    run,
+)
+
+
+class TestCalibration:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return run(zipf_values=(1.05, 1.35),
+                   exploration_values=(0.1, 0.35),
+                   num_users=25, mean_queries=40.0, max_queries=400,
+                   seed=3)
+
+    def test_grid_size(self, grid):
+        assert len(grid) == 4
+
+    def test_zipf_raises_tor_rate(self, grid):
+        by_knobs = {(r["zipf"], r["exploration"]): r for r in grid}
+        assert (by_knobs[(1.35, 0.1)]["tor_rate"]
+                > by_knobs[(1.05, 0.1)]["tor_rate"])
+
+    def test_exploration_raises_unlinkable_mass(self, grid):
+        by_knobs = {(r["zipf"], r["exploration"]): r for r in grid}
+        assert (by_knobs[(1.05, 0.35)]["unlinkable_mass"]
+                > by_knobs[(1.05, 0.1)]["unlinkable_mass"])
+
+    def test_best_point_minimises_distance(self, grid):
+        chosen = best_point(grid)
+        assert chosen["anchor_distance"] == min(r["anchor_distance"]
+                                                for r in grid)
+
+    def test_sensitive_rate_stable_across_knobs(self, grid):
+        # The sensitivity calibration is independent of the two
+        # behavioural knobs.
+        rates = [r["sensitive_rate"] for r in grid]
+        assert max(rates) - min(rates) < 0.08
+
+    def test_shipped_defaults_near_anchor(self):
+        point = measure_point(1.2, 0.22, num_users=40, mean_queries=50.0,
+                              max_queries=800, seed=0)
+        assert abs(point["tor_rate"] - TOR_ANCHOR) < 0.10
+        assert abs(point["unlinkable_mass"] - K0_ANCHOR) < 0.20

@@ -1,0 +1,82 @@
+"""Tests for the CLI and the CSV exporter."""
+
+import csv
+import os
+
+import pytest
+
+from repro.cli import DEFAULT_SEQUENCE, EXPERIMENTS, build_parser, main
+from repro.experiments.export import EXPORTERS, export_all
+
+
+class TestCliParsing:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for alias in EXPERIMENTS:
+            assert alias in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_default_sequence_is_known(self):
+        assert set(DEFAULT_SEQUENCE) <= set(EXPERIMENTS)
+
+    def test_parser_search_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["search", "flu"])
+        assert args.query == "flu"
+        assert args.nodes == 16
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 0
+        assert "experiments" in capsys.readouterr().out
+
+    def test_search_command_end_to_end(self, capsys):
+        code = main(["search", "flu symptoms", "--nodes", "8",
+                     "--seed", "3", "--kmax", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "REAL" in out
+        assert "fakes (k)" in out
+
+
+class TestExport:
+    def test_export_selected(self, tmp_path):
+        paths = export_all(str(tmp_path), only=["fig5"],
+                           num_users=30, mean_queries=40.0, seed=1,
+                           max_queries=200)
+        assert set(paths) == {"fig5"}
+        with open(paths["fig5"]) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["system", "reidentification_rate"]
+        systems = {row[0] for row in rows[1:]}
+        assert "CYCLOSA" in systems and "TOR" in systems
+        rates = {row[0]: float(row[1]) for row in rows[1:]}
+        assert rates["CYCLOSA"] < rates["TOR"]
+
+    def test_export_fig7_cdf_monotone(self, tmp_path):
+        paths = export_all(str(tmp_path), only=["fig7"],
+                           num_users=30, mean_queries=40.0, seed=1,
+                           max_queries=400)
+        with open(paths["fig7"]) as handle:
+            rows = list(csv.reader(handle))[1:]
+        cdf = [float(row[1]) for row in rows]
+        assert cdf == sorted(cdf)
+        assert cdf[-1] == 1.0
+
+    def test_unknown_export_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_all(str(tmp_path), only=["fig99"])
+
+    def test_all_exporters_registered(self):
+        assert {"table2", "fig5", "fig6", "fig7", "fig8a", "fig8b",
+                "fig8c", "fig8d"} == set(EXPORTERS)
+
+    def test_files_created_in_outdir(self, tmp_path):
+        paths = export_all(str(tmp_path), only=["fig6"],
+                           num_users=30, mean_queries=40.0, seed=1,
+                           max_queries=60)
+        assert os.path.dirname(paths["fig6"]) == str(tmp_path)
+        assert os.path.exists(paths["fig6"])

@@ -1,0 +1,97 @@
+"""Tests for the shared experiment fixtures in experiments.common."""
+
+import pytest
+
+from repro.experiments.common import (
+    Workload,
+    build_assessors,
+    build_sensitive_corpus,
+    build_workload,
+    print_table,
+)
+
+
+class TestBuildWorkload:
+    def test_memoised(self):
+        a = build_workload(num_users=20, mean_queries_per_user=30.0, seed=9)
+        b = build_workload(num_users=20, mean_queries_per_user=30.0, seed=9)
+        assert a is b  # lru_cache hit
+
+    def test_distinct_params_distinct_workloads(self):
+        a = build_workload(num_users=20, mean_queries_per_user=30.0, seed=9)
+        b = build_workload(num_users=20, mean_queries_per_user=30.0, seed=10)
+        assert a is not b
+
+    def test_structure(self):
+        workload = build_workload(num_users=20,
+                                  mean_queries_per_user=30.0, seed=9)
+        assert isinstance(workload, Workload)
+        assert len(workload.train.records) > len(workload.test.records)
+        assert workload.attack.profiles
+        assert workload.engine.search("symptoms") is not None
+
+    def test_user_training_texts(self):
+        workload = build_workload(num_users=20,
+                                  mean_queries_per_user=30.0, seed=9)
+        user = workload.log.users[0]
+        texts = workload.user_training_texts(user)
+        assert texts
+        assert all(isinstance(text, str) for text in texts)
+
+
+class TestSensitiveCorpus:
+    def test_documents_are_token_lists(self):
+        corpus = build_sensitive_corpus(docs_per_topic=10, seed=2)
+        assert len(corpus) == 40  # 4 sensitive topics
+        assert all(isinstance(doc, list) and doc for doc in corpus)
+
+    def test_mostly_sensitive_vocabulary(self):
+        from repro.datasets.vocabulary import (
+            SENSITIVE_TOPICS,
+            build_topic_vocabularies,
+        )
+
+        vocabularies = build_topic_vocabularies()
+        sensitive_terms = set()
+        for topic in SENSITIVE_TOPICS:
+            sensitive_terms.update(vocabularies[topic].terms)
+        corpus = build_sensitive_corpus(docs_per_topic=10, seed=2)
+        tokens = [token for doc in corpus for token in doc]
+        hits = sum(1 for token in tokens if token in sensitive_terms)
+        assert hits / len(tokens) > 0.85
+
+    def test_noise_knob(self):
+        clean = build_sensitive_corpus(docs_per_topic=20,
+                                       neutral_noise=0.0, seed=2)
+        noisy = build_sensitive_corpus(docs_per_topic=20,
+                                       neutral_noise=0.3, seed=2)
+        from repro.datasets.vocabulary import build_topic_vocabularies
+
+        vocabularies = build_topic_vocabularies()
+        neutral = set()
+        for topic, vocabulary in vocabularies.items():
+            if not vocabulary.sensitive:
+                neutral.update(vocabulary.terms)
+
+        def neutral_fraction(corpus):
+            tokens = [t for doc in corpus for t in doc]
+            return sum(1 for t in tokens if t in neutral) / len(tokens)
+
+        assert neutral_fraction(noisy) > neutral_fraction(clean) + 0.1
+
+
+class TestAssessors:
+    def test_three_configurations(self):
+        assessors = build_assessors(seed=0)
+        assert set(assessors) == {"WordNet", "LDA", "WordNet + LDA"}
+        assert assessors["WordNet"].mode == "wordnet"
+        assert assessors["LDA"].mode == "lda"
+        assert assessors["WordNet + LDA"].mode == "combined"
+
+
+class TestPrintTable:
+    def test_renders_aligned(self, capsys):
+        print_table("Title", ["col", "x"], [["value", 1], ["v", 22]])
+        out = capsys.readouterr().out
+        assert "Title" in out
+        assert "value" in out and "22" in out

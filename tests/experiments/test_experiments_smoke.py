@@ -1,0 +1,135 @@
+"""Smoke tests: every experiment driver runs at reduced scale and
+produces results with the paper's qualitative shape."""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    fig5_reidentification,
+    fig6_accuracy,
+    fig7_adaptive_k,
+    fig8c_throughput,
+    fig8d_ratelimit,
+    table1_properties,
+    table2_categorizer,
+)
+
+SMALL = dict(num_users=40, mean_queries=50.0, seed=1)
+
+
+class TestTable1:
+    def test_property_matrix_matches_paper(self):
+        outcome = table1_properties.run(num_users=30, mean_queries=40.0,
+                                        seed=1, sample_size=60)
+        for name, maps in outcome.items():
+            assert maps["measured"] == maps["declared"], name
+
+    def test_cyclosa_full_row(self):
+        outcome = table1_properties.run(num_users=30, mean_queries=40.0,
+                                        seed=1, sample_size=60)
+        assert all(outcome["CYCLOSA"]["measured"].values())
+
+
+class TestTable2:
+    def test_shape(self):
+        results = table2_categorizer.run(num_users=60, mean_queries=60.0,
+                                         seed=0, max_queries=2500)
+        wn_p, wn_r = results["WordNet"]
+        lda_p, lda_r = results["LDA"]
+        comb_p, comb_r = results["WordNet + LDA"]
+        # The paper's ordering: WordNet has the worst precision; the
+        # combination has the best; recall is decent everywhere.
+        assert wn_p < lda_p
+        assert comb_p >= lda_p - 0.05
+        assert wn_r > 0.6 and lda_r > 0.75 and comb_r > 0.7
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def rates(self):
+        return fig5_reidentification.run(**SMALL, k=7, max_queries=800)
+
+    def test_ordering_matches_paper(self, rates):
+        # GooPIR ≥ TMN > TOR >> PEAS > X-Search > CYCLOSA
+        assert rates["GooPIR"] > rates["TOR"]
+        assert rates["TrackMeNot"] > rates["TOR"]
+        assert rates["TOR"] > rates["PEAS"]
+        assert rates["PEAS"] > rates["CYCLOSA"]
+        assert rates["X-Search"] > rates["CYCLOSA"]
+
+    def test_magnitudes(self, rates):
+        assert 0.25 < rates["TOR"] < 0.50
+        assert rates["CYCLOSA"] < 0.08
+
+
+class TestFig6:
+    def test_accuracy_split(self):
+        results = fig6_accuracy.run(**SMALL, k=3, max_queries=150)
+        for name in ("TOR", "TrackMeNot", "CYCLOSA"):
+            assert results[name].perfect, name
+        for name in ("GooPIR", "PEAS", "X-Search"):
+            assert results[name].completeness < 0.95, name
+            assert not results[name].perfect
+
+
+class TestFig7:
+    def test_adaptive_distribution(self):
+        outcome = fig7_adaptive_k.run(num_users=40, mean_queries=60.0,
+                                      kmax=7, seed=0, max_queries=1200)
+        assert 0.05 < outcome["fraction_k0"] < 0.45
+        assert outcome["fraction_kmax"] > 0.1  # the k=7 spike
+        assert 0 < outcome["mean_k"] < 7
+
+
+class TestFig8c:
+    def test_saturation_shape(self):
+        results = fig8c_throughput.run(rates=(5000, 20000, 40000),
+                                       duration=1.0)
+        cyclosa = results["CYCLOSA"]
+        xsearch = results["X-Search"]
+        assert cyclosa[0]["capacity"] > 40000
+        assert xsearch[0]["capacity"] < cyclosa[0]["capacity"]
+        # X-Search past its knee is far slower than at low rate.
+        assert xsearch[-1]["median"] > 3 * xsearch[0]["median"]
+        # CYCLOSA still fine at 40 k.
+        assert cyclosa[-1]["median"] < 2 * cyclosa[0]["median"]
+
+
+class TestFig8d:
+    def test_rate_limit_split(self):
+        outcome = fig8d_ratelimit.run(duration_minutes=40, seed=1)
+        assert outcome["xsearch_rejected_total"] > 0
+        assert outcome["cyclosa_rejected_total"] == 0
+        for point in outcome["series"]:
+            assert (point["cyclosa_max_per_node_h"]
+                    < outcome["limit_per_hour"])
+
+
+class TestAblations:
+    def test_adaptive_ablation(self):
+        rows = ablations.run_adaptive_ablation(
+            num_users=30, mean_queries=40.0, kmax=5, seed=0,
+            max_queries=400)
+        by_label = {row["configuration"]: row for row in rows}
+        static0 = by_label["static k=0"]
+        static5 = by_label["static k=5 (X-Search policy)"]
+        adaptive = by_label["adaptive kmax=5 (CYCLOSA)"]
+        assert static0["reidentification"] > adaptive["reidentification"]
+        assert adaptive["fakes_per_query"] < static5["fakes_per_query"]
+
+    def test_path_ablation(self):
+        rows = ablations.run_path_ablation(
+            num_users=30, mean_queries=40.0, k=3, seed=0, max_queries=100)
+        separate = rows[0]
+        grouped = rows[1]
+        assert separate["correctness"] == 1.0
+        assert separate["completeness"] == 1.0
+        assert grouped["completeness"] < 1.0
+
+    def test_epc_ablation_cliff(self):
+        rows = ablations.run_epc_ablation(working_sets_mb=[2, 256])
+        small, big = rows
+        assert small["paging_ratio"] == 0.0
+        assert big["paging_ratio"] > 0.0
+        assert big["service_time_us"] > 5 * small["service_time_us"]
+        assert small["capacity_req_s"] > 40000

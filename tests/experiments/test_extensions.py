@@ -1,0 +1,55 @@
+"""Tests for the extension experiments (robustness, sensitivity sweep)."""
+
+import pytest
+
+from repro.experiments.robustness import run as run_robustness
+from repro.experiments.sensitivity_sweep import run as run_sweep
+
+
+class TestRobustness:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_robustness(num_nodes=16, queries_per_setting=15,
+                              byzantine_fractions=(0.0, 0.4), k=2, seed=1)
+
+    def test_clean_overlay_is_perfect(self, rows):
+        clean = rows[0]
+        assert clean["success_rate"] == 1.0
+        assert clean["retries"] == 0
+
+    def test_byzantine_overlay_recovers(self, rows):
+        hostile = rows[1]
+        # Blacklisting + retries keep success high despite 40 % of the
+        # overlay silently dropping forwards.
+        assert hostile["success_rate"] >= 0.85
+        assert hostile["blacklisted"] > 0
+
+    def test_recovery_costs_latency(self, rows):
+        clean, hostile = rows
+        assert hostile["median_latency"] >= clean["median_latency"]
+
+
+class TestSensitivitySweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_sweep(sensitivity_rates=(0.05, 0.5),
+                         num_users=30, mean_queries=40.0, kmax=5,
+                         seed=1, max_queries=400)
+
+    def test_workload_rates_realised(self, rows):
+        assert rows[0]["sensitive_rate"] < rows[1]["sensitive_rate"]
+
+    def test_adaptive_cost_tracks_sensitivity(self, rows):
+        # More sensitive workload -> more fakes under the adaptive rule.
+        assert rows[1]["adaptive_mean_k"] > rows[0]["adaptive_mean_k"]
+
+    def test_static_cost_is_flat(self, rows):
+        assert rows[0]["static_mean_k"] == rows[1]["static_mean_k"] == 5.0
+
+    def test_adaptive_cheaper_than_static(self, rows):
+        for row in rows:
+            assert row["adaptive_mean_k"] < row["static_mean_k"]
+
+    def test_privacy_within_factor_of_static(self, rows):
+        for row in rows:
+            assert row["adaptive_reid"] < 3 * row["static_reid"] + 0.02

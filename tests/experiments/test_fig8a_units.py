@@ -1,0 +1,50 @@
+"""Unit-scale runs of the Fig 8a per-system latency harnesses."""
+
+import pytest
+
+from repro.experiments.fig8a_latency import (
+    run_cyclosa,
+    run_direct,
+    run_tor,
+    run_xsearch,
+)
+
+QUERIES = ["symptoms cancer", "football scores", "hotel booking",
+           "laptop reviews", "mortgage rates"]
+
+
+class TestPerSystemHarnesses:
+    def test_direct_latencies(self):
+        latencies = run_direct(10, QUERIES, seed=1)
+        assert len(latencies) == 10
+        assert all(0.01 < latency < 5.0 for latency in latencies)
+
+    def test_xsearch_latencies(self):
+        latencies = run_xsearch(10, QUERIES, k=2, seed=1)
+        assert len(latencies) == 10
+        assert all(0.05 < latency < 10.0 for latency in latencies)
+
+    def test_cyclosa_latencies(self):
+        latencies = run_cyclosa(10, QUERIES, k=2, seed=1, num_nodes=10)
+        assert len(latencies) == 10
+        assert all(0.1 < latency < 30.0 for latency in latencies)
+
+    def test_tor_latencies_heavy(self):
+        latencies = run_tor(6, QUERIES, seed=1, num_relays=5)
+        assert len(latencies) == 6
+        # Circuit hops dominate: even the fastest sample is multi-second.
+        assert min(latencies) > 2.0
+
+    def test_deterministic_across_runs(self):
+        a = run_direct(5, QUERIES, seed=4)
+        b = run_direct(5, QUERIES, seed=4)
+        assert a == b
+
+    def test_ordering_holds_at_small_scale(self):
+        from repro.metrics.latencystats import percentile
+
+        direct = percentile(run_direct(12, QUERIES, seed=2), 0.5)
+        xsearch = percentile(run_xsearch(12, QUERIES, k=2, seed=2), 0.5)
+        cyclosa = percentile(
+            run_cyclosa(12, QUERIES, k=2, seed=2, num_nodes=10), 0.5)
+        assert direct < xsearch < cyclosa

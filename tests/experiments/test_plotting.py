@@ -1,0 +1,53 @@
+"""Tests for the ASCII plotting helpers."""
+
+from repro.experiments.plotting import ascii_bars, ascii_cdf
+
+
+class TestAsciiBars:
+    def test_renders_all_labels(self):
+        chart = ascii_bars({"TOR": 36.0, "CYCLOSA": 4.0}, unit=" %")
+        assert "TOR" in chart and "CYCLOSA" in chart
+
+    def test_bar_lengths_proportional(self):
+        chart = ascii_bars({"big": 100.0, "small": 10.0}, width=50)
+        big_line, small_line = chart.splitlines()
+        assert big_line.count("█") > 4 * small_line.count("█")
+
+    def test_empty(self):
+        assert ascii_bars({}) == "(no data)"
+
+    def test_explicit_max(self):
+        chart = ascii_bars({"x": 50.0}, width=10, max_value=100.0)
+        assert chart.count("█") == 5
+
+
+class TestAsciiCdf:
+    def test_renders_axes_and_legend(self):
+        chart = ascii_cdf({"fast": [0.1, 0.2, 0.3],
+                           "slow": [10.0, 20.0, 30.0]})
+        assert "o = fast" in chart
+        assert "x = slow" in chart
+        assert "100%" in chart or "99%" in chart or "94%" in chart
+
+    def test_log_scale_separates_magnitudes(self):
+        chart = ascii_cdf({"fast": [0.1] * 10, "slow": [100.0] * 10},
+                          log_x=True, width=40)
+        lines = [l for l in chart.splitlines() if "|" in l and "%" in l]
+        # fast's marks hug the left, slow's the right.
+        for line in lines:
+            body = line.split("|", 1)[1]
+            if "o" in body:
+                assert body.index("o") < 5
+            if "x" in body:
+                assert body.rindex("x") > 30
+
+    def test_empty_series_skipped(self):
+        chart = ascii_cdf({"empty": [], "full": [1.0, 2.0]})
+        assert "full" in chart and "empty" not in chart
+
+    def test_all_empty(self):
+        assert ascii_cdf({"a": []}) == "(no data)"
+
+    def test_constant_samples_no_crash(self):
+        chart = ascii_cdf({"flat": [5.0] * 20})
+        assert "flat" in chart

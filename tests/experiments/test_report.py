@@ -1,0 +1,37 @@
+"""Tests for the Markdown report generator."""
+
+import pytest
+
+from repro.experiments.report import _md_table, build_report
+
+
+class TestMdTable:
+    def test_renders_header_and_rows(self):
+        table = _md_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = table.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert "| 1 | 2 |" in lines
+
+
+class TestBuildReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return build_report(scale="small", seed=1)
+
+    def test_contains_every_section(self, report):
+        for heading in ("Table I", "Table II", "Fig 5", "Fig 6", "Fig 7",
+                        "Fig 8c", "Fig 8d"):
+            assert heading in report
+
+    def test_table1_agrees_with_paper(self, report):
+        assert "Disagreements with the paper's matrix: **0**" in report
+
+    def test_all_systems_present(self, report):
+        for system in ("TOR", "TrackMeNot", "GooPIR", "PEAS", "X-Search",
+                       "CYCLOSA"):
+            assert system in report
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            build_report(scale="huge")

@@ -1,0 +1,45 @@
+"""Tests for repro.gossip.bootstrap_repo."""
+
+import random
+
+import pytest
+
+from repro.gossip.bootstrap_repo import PublicRepository
+
+
+@pytest.fixture
+def repo():
+    return PublicRepository(random.Random(3))
+
+
+class TestRepository:
+    def test_publish_and_sample(self, repo):
+        repo.publish("a")
+        repo.publish("b")
+        assert set(repo.sample(10)) == {"a", "b"}
+
+    def test_publish_idempotent(self, repo):
+        repo.publish("a")
+        repo.publish("a")
+        assert len(repo) == 1
+
+    def test_sample_excludes(self, repo):
+        for address in "abcd":
+            repo.publish(address)
+        assert "a" not in repo.sample(10, exclude=["a"])
+
+    def test_sample_bounded(self, repo):
+        for address in "abcdefgh":
+            repo.publish(address)
+        assert len(repo.sample(3)) == 3
+
+    def test_retire(self, repo):
+        repo.publish("a")
+        repo.retire("a")
+        assert len(repo) == 0
+
+    def test_retire_unknown_is_noop(self, repo):
+        repo.retire("ghost")
+
+    def test_empty_sample(self, repo):
+        assert repo.sample(5) == []

@@ -1,0 +1,77 @@
+"""Push-only vs push-pull gossip policies."""
+
+import random
+
+from repro.gossip.bootstrap_repo import PublicRepository
+from repro.gossip.peer_sampling import PeerSamplingService
+from repro.net.latency import ConstantLatency
+from repro.net.simulator import Simulator
+from repro.net.transport import Network, NetNode
+
+
+class PolicyNode(NetNode):
+    def __init__(self, network, address, rng, push_pull):
+        super().__init__(network, address)
+        self.pss = PeerSamplingService(self, rng, view_size=6,
+                                       interval=2.0, push_pull=push_pull)
+
+    def handle_request(self, ctx):
+        self.pss.handle_request(ctx)
+
+    def handle_datagram(self, message):
+        self.pss.handle_push(message)
+
+
+def build(push_pull, num_nodes=16, seed=4):
+    rng = random.Random(seed)
+    sim = Simulator()
+    net = Network(sim, rng, default_latency=ConstantLatency(0.005))
+    repo = PublicRepository(rng)
+    nodes = []
+    for index in range(num_nodes):
+        node = PolicyNode(net, f"n{index}", rng, push_pull)
+        node.pss.bootstrap(repo.sample(3))
+        repo.publish(node.address)
+        nodes.append(node)
+    for node in nodes:
+        node.pss.start()
+    return sim, net, nodes
+
+
+class TestPushOnly:
+    def test_views_still_fill(self):
+        sim, _, nodes = build(push_pull=False)
+        sim.run(until=120)
+        assert all(len(n.pss.view) >= 4 for n in nodes)
+
+    def test_rounds_progress_without_replies(self):
+        sim, _, nodes = build(push_pull=False)
+        sim.run(until=60)
+        assert all(n.pss.rounds_completed > 5 for n in nodes)
+
+    def test_push_pull_heals_dead_peers_faster(self):
+        """The original paper's argument for push-pull: push-only has
+        no timeout signal, so dead entries linger."""
+
+        def dead_references_after(push_pull):
+            sim, net, nodes = build(push_pull=push_pull, seed=9)
+            sim.run(until=40)
+            victim = nodes[5]
+            victim.pss.stop()
+            net.unregister(victim.address)
+            sim.run(until=400)
+            return sum(1 for n in nodes if n is not victim
+                       and victim.address in n.pss.view)
+
+        assert dead_references_after(True) <= dead_references_after(False)
+
+    def test_push_message_ignored_by_wrong_kind(self):
+        sim, net, nodes = build(push_pull=False)
+        sim.run(until=10)
+        node = nodes[0]
+
+        class FakeMessage:
+            kind = "unrelated"
+            payload = []
+
+        assert node.pss.handle_push(FakeMessage()) is False

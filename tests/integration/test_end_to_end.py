@@ -1,0 +1,125 @@
+"""End-to-end behaviour of the full stack and its analytic twin."""
+
+import pytest
+
+from repro.baselines.cyclosa_analytic import CyclosaAnalytic
+from repro.core.client import CyclosaNetwork
+from repro.core.config import CyclosaConfig
+from repro.core.sensitivity import SemanticAssessor
+from repro.text.wordnet import SyntheticWordNet
+
+
+class TestFullStackBehaviour:
+    @pytest.fixture(scope="class")
+    def deployment(self):
+        return CyclosaNetwork.create(num_nodes=12, seed=3,
+                                     warmup_seconds=40)
+
+    def test_many_queries_from_many_users(self, deployment):
+        queries = ["flu symptoms", "football tickets", "laptop reviews",
+                   "cancer treatment", "mortgage rates", "hotel paris"]
+        results = []
+        for index, query in enumerate(queries):
+            results.append(deployment.node(index % 6).search(
+                query, k_override=2))
+        assert all(r.ok for r in results)
+
+    def test_accuracy_is_perfect(self, deployment):
+        """The headline accuracy claim: protected results identical to
+        direct engine results."""
+        query = "symptoms cancer diagnosis"
+        result = deployment.node(0).search(query, k_override=3)
+        direct = [hit.url for hit in deployment.engine_node.engine.search(query)]
+        assert result.documents == direct
+
+    def test_load_spreads_across_relays(self, deployment):
+        for index in range(10):
+            deployment.node(index % 6).search(f"load probe {index}",
+                                              k_override=3)
+        relayed = [n.stats.relayed for n in deployment.nodes]
+        # More than half the nodes relayed something (Fig 8d's spreading).
+        assert sum(1 for count in relayed if count > 0) > 6
+
+    def test_engine_observes_more_fakes_than_reals(self, deployment):
+        before = len(deployment.engine_log)
+        for index in range(5):
+            deployment.node(index).search(f"fanout probe {index}",
+                                          k_override=3)
+        entries = deployment.engine_log[before:]
+        fakes = sum(1 for e in entries if e.is_fake)
+        reals = sum(1 for e in entries if not e.is_fake)
+        assert reals == 5
+        assert fakes >= 2 * reals
+
+
+class TestAnalyticEquivalence:
+    """The analytic pipeline must match the full stack's observable
+    behaviour: same k policy, same fake source semantics, same
+    per-relay dispersal."""
+
+    def test_same_adaptive_k_decision(self):
+        wordnet = SyntheticWordNet.build(seed=5)
+        semantic = SemanticAssessor.from_resources(wordnet=wordnet,
+                                                   mode="wordnet")
+        config = CyclosaConfig(kmax=5)
+        deployment = CyclosaNetwork.create(
+            num_nodes=8, seed=5, config=config, semantic=semantic,
+            warmup_seconds=40)
+        analytic = CyclosaAnalytic(semantic, kmax=5, adaptive=True, seed=5)
+
+        history = ["marathon training", "marathon shoes",
+                   "marathon training plan"]
+        deployment.node(0).preload_history(history)
+        analytic.preload_history("user000", history)
+
+        for query in ("cancer treatment options",       # semantic → kmax
+                      "marathon training plan",          # linkable
+                      "completely novel gadget idea"):   # fresh → low k
+            full_result = deployment.node(0).search(query)
+            analytic_obs = analytic.protect("user000", query)
+            # k chosen by the full stack == fakes emitted analytically.
+            assert full_result.k == len(analytic_obs) - 1, query
+
+    def test_dispersal_one_query_per_relay(self):
+        wordnet = SyntheticWordNet.build(seed=5)
+        semantic = SemanticAssessor.from_resources(wordnet=wordnet,
+                                                   mode="wordnet")
+        analytic = CyclosaAnalytic(semantic, kmax=7, adaptive=False, seed=5)
+        observations = analytic.protect("u", "dispersal probe")
+        assert len({o.identity for o in observations}) == len(observations)
+
+
+class TestChurnAndScale:
+    def test_new_node_can_join_and_search(self):
+        deployment = CyclosaNetwork.create(num_nodes=8, seed=11,
+                                           warmup_seconds=40)
+        from repro.core.node import CyclosaNode
+
+        late = CyclosaNode(
+            deployment.network, "latecomer", deployment.rng,
+            deployment.config, deployment.services,
+            semantic=deployment.nodes[0].sensitivity.semantic,
+            user_id="late-user")
+        deployment.network.set_link_latency(
+            late.address, deployment.engine_node.address,
+            __import__("repro.net.latency", fromlist=["LogNormalLatency"])
+            .LogNormalLatency(median=0.03, sigma=0.3))
+        late.bootstrap()
+        deployment.run(30.0)
+
+        holder = {}
+        late.search("latecomer query", on_result=holder.update,
+                    k_override=2)
+        deadline = deployment.simulator.now + 120
+        while "status" not in holder and deployment.simulator.now < deadline:
+            if not deployment.simulator.step():
+                break
+        assert holder.get("status") == "ok"
+
+    def test_sixty_node_deployment(self):
+        deployment = CyclosaNetwork.create(num_nodes=60, seed=2,
+                                           warmup_seconds=30)
+        result = deployment.node(30).search("scale probe", k_override=5)
+        assert result.ok
+        # Relays drawn from the whole overlay, not just neighbours.
+        assert len({e.identity for e in deployment.engine_log}) >= 5

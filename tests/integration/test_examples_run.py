@@ -1,0 +1,60 @@
+"""Every shipped example must run end-to-end and print its story.
+
+Examples rot silently unless executed; these tests run each one in
+process (via runpy) and assert on its key output lines.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES_DIR / name
+    assert path.exists(), path
+    argv = sys.argv
+    sys.argv = [str(path)]
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "the user's view" in out
+        assert "the search engine's view" in out
+        assert "web.example" in out
+
+    def test_private_health_search(self, capsys):
+        out = run_example("private_health_search.py", capsys)
+        assert "linkability" in out
+        assert "arthritis" in out
+
+    def test_rate_limit_survival(self, capsys):
+        out = run_example("rate_limit_survival.py", capsys)
+        assert "captcha-blocked" in out
+        assert "CYCLOSA total rejections:  0" in out
+
+    def test_restart_persistence(self, capsys):
+        out = run_example("restart_persistence.py", capsys)
+        assert "restored" in out
+        assert "rejected (sealed for a different enclave measurement)" in out
+        assert "rejected (sealed on a different platform)" in out
+
+    def test_custom_sensitive_topics(self, capsys):
+        out = run_example("custom_sensitive_topics.py", capsys)
+        assert "imported legal-finance" in out
+        # Same query: unprotected by default, kmax with the dictionary.
+        assert out.count("bankruptcy lawyer free consultation") == 2
+
+    def test_adversary_study(self, capsys):
+        out = run_example("adversary_study.py", capsys)
+        assert "re-identification rate" in out
+        assert "CYCLOSA" in out

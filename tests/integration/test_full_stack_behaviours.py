@@ -1,0 +1,103 @@
+"""Full-stack behaviours: concurrency, rate limits, accuracy property."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.client import CyclosaNetwork
+from repro.core.config import CyclosaConfig
+from repro.datasets.vocabulary import build_topic_vocabularies
+
+
+class TestConcurrentSearches:
+    def test_interleaved_searches_correlate_correctly(self):
+        """Five searches in flight at once from one node: every response
+        must be matched to its own query (token correlation), never to
+        a sibling's."""
+        deployment = CyclosaNetwork.create(num_nodes=12, seed=51,
+                                           warmup_seconds=40)
+        node = deployment.nodes[0]
+        queries = [f"concurrent probe {i} symptoms" for i in range(5)]
+        results = {}
+        for query in queries:
+            node.search(query,
+                        on_result=lambda r, q=query: results.__setitem__(q, r),
+                        k_override=2)
+        deployment.run(120.0)
+        assert set(results) == set(queries)
+        for query, result in results.items():
+            assert result["status"] == "ok"
+            assert result["query"] == query
+            direct = [hit.url for hit in
+                      deployment.engine_node.engine.search(query)]
+            assert [hit["url"] for hit in result["hits"]] == direct
+
+    def test_concurrent_searches_from_many_nodes(self):
+        deployment = CyclosaNetwork.create(num_nodes=12, seed=52,
+                                           warmup_seconds=40)
+        results = []
+        for index in range(8):
+            deployment.nodes[index].search(
+                f"multi node probe {index}", on_result=results.append,
+                k_override=1)
+        deployment.run(120.0)
+        assert len(results) == 8
+        assert all(r["status"] == "ok" for r in results)
+
+
+class TestFullStackRateLimit:
+    def test_cyclosa_traffic_stays_under_engine_limit(self):
+        """With the engine's per-identity limit active, CYCLOSA traffic
+        passes because each relay's identity stays under it."""
+        config = CyclosaConfig(engine_rate_limit=50)
+        deployment = CyclosaNetwork.create(num_nodes=12, seed=53,
+                                           config=config,
+                                           warmup_seconds=40)
+        outcomes = []
+        for index in range(15):
+            outcomes.append(deployment.node(index % 6).search(
+                f"rate limited probe {index}", k_override=2))
+        assert all(result.ok for result in outcomes)
+        limiter = deployment.engine_node.rate_limiter
+        for node in deployment.nodes:
+            assert limiter.rejected(node.address) == 0
+
+    def test_single_identity_flood_gets_captcha(self):
+        """Sanity contrast: one identity flooding the same limited
+        engine trips the captcha (what happens to a central proxy)."""
+        config = CyclosaConfig(engine_rate_limit=5)
+        deployment = CyclosaNetwork.create(num_nodes=6, seed=54,
+                                           config=config,
+                                           warmup_seconds=40)
+        limiter = deployment.engine_node.rate_limiter
+        now = deployment.simulator.now
+        verdicts = [limiter.check("flooding-proxy", now + i)
+                    for i in range(10)]
+        from repro.searchengine.ratelimit import RateLimitVerdict
+
+        assert verdicts.count(RateLimitVerdict.CAPTCHA) == 5
+
+
+class TestAccuracyProperty:
+    @pytest.fixture(scope="class")
+    def deployment(self):
+        return CyclosaNetwork.create(num_nodes=10, seed=55,
+                                     warmup_seconds=40)
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(data=st.data())
+    def test_protected_results_equal_direct_results(self, deployment, data):
+        """For any query assembled from the corpus vocabulary, CYCLOSA's
+        protected answer is byte-identical to the direct answer — the
+        perfect-accuracy invariant, as a property."""
+        vocabularies = build_topic_vocabularies()
+        topic = data.draw(st.sampled_from(sorted(vocabularies)))
+        terms = data.draw(st.lists(
+            st.sampled_from(list(vocabularies[topic].terms[:40])),
+            min_size=1, max_size=3, unique=True))
+        query = " ".join(terms)
+        result = deployment.node(0).search(query, k_override=2)
+        direct = [hit.url for hit in
+                  deployment.engine_node.engine.search(query)]
+        assert result.ok
+        assert result.documents == direct

@@ -1,0 +1,90 @@
+"""Overlay-level statistical properties.
+
+The paper's scalability story rests on two emergent properties of the
+random-peer-sampling overlay: relay selection is (near-)uniform, so
+load balances (Fig 8d, "CYCLOSA fairly balances the load between the
+participating nodes"), and the view graph stays well-mixed (in-degree
+concentrates; no node becomes a hub or an island).
+"""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.client import CyclosaNetwork
+from repro.gossip.bootstrap_repo import PublicRepository
+from repro.gossip.peer_sampling import PeerSamplingService
+from repro.net.latency import ConstantLatency
+from repro.net.simulator import Simulator
+from repro.net.transport import Network, NetNode
+
+
+class _Node(NetNode):
+    def __init__(self, network, address, rng):
+        super().__init__(network, address)
+        self.pss = PeerSamplingService(self, rng, view_size=8, interval=2.0)
+
+    def handle_request(self, ctx):
+        self.pss.handle_request(ctx)
+
+
+@pytest.fixture(scope="module")
+def overlay():
+    rng = random.Random(8)
+    sim = Simulator()
+    net = Network(sim, rng, default_latency=ConstantLatency(0.005))
+    repo = PublicRepository(rng)
+    nodes = []
+    for index in range(30):
+        node = _Node(net, f"n{index}", rng)
+        node.pss.bootstrap(repo.sample(4))
+        repo.publish(node.address)
+        nodes.append(node)
+    for node in nodes:
+        node.pss.start()
+    sim.run(until=200)
+    return sim, nodes
+
+
+class TestViewGraph:
+    def test_indegree_concentrates(self, overlay):
+        _sim, nodes = overlay
+        indegree = Counter()
+        for node in nodes:
+            for address in node.pss.view.addresses():
+                indegree[address] += 1
+        counts = [indegree[n.address] for n in nodes]
+        mean = sum(counts) / len(counts)
+        # Well-mixed: nobody is a hub (>3x mean) or an island (0).
+        assert min(counts) >= 1
+        assert max(counts) <= 3 * mean
+
+    def test_sampling_is_near_uniform(self, overlay):
+        _sim, nodes = overlay
+        source = nodes[0]
+        draws = Counter()
+        for _ in range(600):
+            for peer in source.pss.random_peers(3):
+                draws[peer] += 1
+        # The node's own view rotates over time only via gossip; within
+        # one instant, sampling is uniform over the current view.
+        values = list(draws.values())
+        assert max(values) <= 3 * (sum(values) / len(values))
+
+
+class TestRelayLoadBalance:
+    def test_relay_selection_spreads_load(self):
+        deployment = CyclosaNetwork.create(num_nodes=20, seed=19,
+                                           warmup_seconds=40)
+        for index in range(40):
+            deployment.node(index % 5).search(
+                f"load balance probe {index}", k_override=3)
+        relayed = sorted(n.stats.relayed for n in deployment.nodes)
+        total = sum(relayed)
+        assert total >= 40 * 3  # all records relayed somewhere
+        # Fairness: the busiest relay carries well under half the load,
+        # and at least 60 % of nodes participated.
+        assert relayed[-1] < 0.35 * total
+        participating = sum(1 for count in relayed if count > 0)
+        assert participating >= 12

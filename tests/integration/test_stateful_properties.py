@@ -1,0 +1,113 @@
+"""Stateful (model-based) property tests with hypothesis.
+
+Two core data structures get rule-based machines: the bounded
+de-duplicating :class:`PastQueryTable` and the age-aware
+:class:`PartialView`. The machines compare the implementation against a
+simple reference model after arbitrary interleavings of operations.
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.core.fake_queries import PastQueryTable
+from repro.gossip.view import NodeDescriptor, PartialView
+
+QUERIES = st.text(alphabet="abcdef", min_size=1, max_size=6)
+ADDRESSES = st.sampled_from([f"n{i}" for i in range(12)])
+
+
+class PastQueryTableMachine(RuleBasedStateMachine):
+    """The table vs an ordered-set reference model."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.capacity = 5
+        self.table = PastQueryTable(capacity=self.capacity)
+        self.model: list = []  # ordered, unique, bounded
+
+    @rule(query=QUERIES)
+    def add(self, query) -> None:
+        self.table.add(query)
+        cleaned = query.strip()
+        if not cleaned:
+            return
+        if cleaned in self.model:
+            self.model.remove(cleaned)
+        elif len(self.model) >= self.capacity:
+            self.model.pop(0)
+        self.model.append(cleaned)
+
+    @rule(count=st.integers(min_value=0, max_value=8),
+          seed=st.integers(min_value=0, max_value=100))
+    def sample(self, count, seed) -> None:
+        sample = self.table.sample(count, random.Random(seed))
+        assert len(sample) == min(count, len(self.model))
+        assert len(set(sample)) == len(sample)
+        assert set(sample) <= set(self.model)
+
+    @invariant()
+    def matches_model(self) -> None:
+        assert self.table.entries() == self.model
+        assert len(self.table) <= self.capacity
+
+
+class PartialViewMachine(RuleBasedStateMachine):
+    """View invariants under arbitrary insert/age/merge interleavings."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.capacity = 4
+        self.view = PartialView(self.capacity)
+        self.rng = random.Random(99)
+
+    @rule(address=ADDRESSES, age=st.integers(min_value=0, max_value=20))
+    def insert(self, address, age) -> None:
+        before = {d.address: d.age for d in self.view.descriptors()}
+        self.view.insert(NodeDescriptor(address, age))
+        after = {d.address: d.age for d in self.view.descriptors()}
+        if address in before:
+            assert after[address] == min(before[address], age)
+
+    @rule()
+    def age_everything(self) -> None:
+        before = {d.address: d.age for d in self.view.descriptors()}
+        self.view.increase_ages()
+        after = {d.address: d.age for d in self.view.descriptors()}
+        assert after == {a: age + 1 for a, age in before.items()}
+
+    @rule(addresses=st.lists(ADDRESSES, max_size=4, unique=True),
+          heal=st.integers(min_value=0, max_value=3),
+          swap=st.integers(min_value=0, max_value=3))
+    def merge(self, addresses, heal, swap) -> None:
+        received = [NodeDescriptor(a, 0) for a in addresses]
+        self.view.merge(received, sent=[], heal=heal, swap=swap,
+                        rng=self.rng)
+
+    @rule(address=ADDRESSES)
+    def remove(self, address) -> None:
+        self.view.remove(address)
+        assert address not in self.view
+
+    @invariant()
+    def bounded_and_unique(self) -> None:
+        addresses = self.view.addresses()
+        assert len(addresses) <= self.capacity
+        assert len(addresses) == len(set(addresses))
+        for descriptor in self.view.descriptors():
+            assert descriptor.age >= 0
+
+
+TestPastQueryTableMachine = PastQueryTableMachine.TestCase
+TestPastQueryTableMachine.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None)
+
+TestPartialViewMachine = PartialViewMachine.TestCase
+TestPartialViewMachine.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None)

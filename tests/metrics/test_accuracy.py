@@ -1,0 +1,85 @@
+"""Tests for accuracy metrics."""
+
+import pytest
+
+from repro.metrics.accuracy import (
+    AccuracyScore,
+    correctness_completeness,
+    mean_accuracy,
+    precision_recall,
+)
+
+
+class TestCorrectnessCompleteness:
+    def test_identical_sets_perfect(self):
+        score = correctness_completeness(["a", "b"], ["a", "b"])
+        assert score.perfect
+
+    def test_half_and_half(self):
+        score = correctness_completeness(["a", "b"], ["a", "c"])
+        assert score.correctness == pytest.approx(0.5)
+        assert score.completeness == pytest.approx(0.5)
+
+    def test_subset_returned(self):
+        score = correctness_completeness(["a", "b", "c", "d"], ["a", "b"])
+        assert score.correctness == 1.0
+        assert score.completeness == pytest.approx(0.5)
+
+    def test_superset_returned(self):
+        score = correctness_completeness(["a"], ["a", "b"])
+        assert score.correctness == pytest.approx(0.5)
+        assert score.completeness == 1.0
+
+    def test_nothing_returned(self):
+        score = correctness_completeness(["a"], [])
+        assert score.correctness == 1.0  # nothing wrong was shown
+        assert score.completeness == 0.0
+
+    def test_empty_reference(self):
+        score = correctness_completeness([], ["a"])
+        assert score.completeness == 1.0
+        assert score.correctness == 0.0
+
+    def test_both_empty(self):
+        assert correctness_completeness([], []).perfect
+
+    def test_order_insensitive(self):
+        a = correctness_completeness(["a", "b"], ["b", "a"])
+        assert a.perfect
+
+
+class TestMeanAccuracy:
+    def test_averages(self):
+        scores = [AccuracyScore(1.0, 0.0), AccuracyScore(0.0, 1.0)]
+        mean = mean_accuracy(scores)
+        assert mean.correctness == pytest.approx(0.5)
+        assert mean.completeness == pytest.approx(0.5)
+
+    def test_empty(self):
+        mean = mean_accuracy([])
+        assert mean.correctness == 0.0
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        p, r = precision_recall([True, False], [True, False])
+        assert p == 1.0 and r == 1.0
+
+    def test_known_values(self):
+        predicted = [True, True, False, False]
+        actual = [True, False, True, False]
+        p, r = precision_recall(predicted, actual)
+        assert p == pytest.approx(0.5)
+        assert r == pytest.approx(0.5)
+
+    def test_nothing_predicted(self):
+        p, r = precision_recall([False, False], [True, False])
+        assert p == 1.0 and r == 0.0
+
+    def test_nothing_actual(self):
+        p, r = precision_recall([True], [False])
+        assert p == 0.0 and r == 1.0
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            precision_recall([True], [True, False])

@@ -1,0 +1,65 @@
+"""Tests for latency statistics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.latencystats import cdf_points, percentile, summarize
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_median_even_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        samples = [5.0, 1.0, 3.0]
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 1.0) == 5.0
+
+    def test_single_sample(self):
+        assert percentile([7.0], 0.9) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=100),
+           st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_property_within_range(self, samples, q):
+        value = percentile(samples, q)
+        assert min(samples) <= value <= max(samples)
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert summary.count == 5
+        assert summary.median == 3.0
+        assert summary.maximum == 100.0
+        assert summary.mean == pytest.approx(22.0)
+        assert summary.p90 >= summary.median
+
+    def test_row_renders(self):
+        assert "median" in summarize([1.0]).row()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestCdfPoints:
+    def test_points_monotone(self):
+        points = cdf_points(list(range(100)))
+        latencies = [v for _, v in points]
+        assert latencies == sorted(latencies)
+
+    def test_custom_quantiles(self):
+        points = cdf_points([1.0, 2.0], points=(0.5,))
+        assert len(points) == 1 and points[0][0] == 0.5

@@ -1,0 +1,105 @@
+"""Tests for the re-identification metric."""
+
+import pytest
+
+from repro.attacks.profiles import UserProfile
+from repro.attacks.simattack import SimAttack
+from repro.baselines.base import AttackSurface, EngineObservation
+from repro.metrics.privacy import reidentification_rate
+from repro.searchengine.engine import OR_SEPARATOR
+
+
+@pytest.fixture
+def attack():
+    profiles = {"u1": UserProfile("u1"), "u2": UserProfile("u2")}
+    for query in ("flu symptoms", "cancer treatment", "flu vaccine"):
+        profiles["u1"].add_query(query)
+    for query in ("football scores", "hockey league", "tennis open"):
+        profiles["u2"].add_query(query)
+    return SimAttack(profiles)
+
+
+def obs(identity, text, user, **kwargs):
+    return EngineObservation(identity=identity, text=text, true_user=user,
+                             **kwargs)
+
+
+class TestIdentifiedSurface:
+    def test_real_queries_recognised(self, attack):
+        observations = [
+            obs("u1", "flu symptoms", "u1"),
+            obs("u1", "celebrity gossip noise", "u1", is_fake=True),
+        ]
+        rate = reidentification_rate(attack, observations,
+                                     AttackSurface.IDENTIFIED)
+        assert rate == 1.0  # the one real query is recognised
+
+    def test_unrecognisable_real_query(self, attack):
+        observations = [obs("u1", "quantum flux capacitors", "u1")]
+        rate = reidentification_rate(attack, observations,
+                                     AttackSurface.IDENTIFIED)
+        assert rate == 0.0
+
+
+class TestGroupSurfaces:
+    def test_group_identified_success(self, attack):
+        text = OR_SEPARATOR.join(["zzz qqq", "flu symptoms", "www eee"])
+        observations = [obs("u1", text, "u1", real_index=1, group_id=1)]
+        rate = reidentification_rate(attack, observations,
+                                     AttackSurface.GROUP_IDENTIFIED)
+        assert rate == 1.0
+
+    def test_group_anonymous_needs_user_too(self, attack):
+        text = OR_SEPARATOR.join(["zzz qqq", "flu symptoms"])
+        observations = [obs("issuer", text, "u1", real_index=1, group_id=1)]
+        rate = reidentification_rate(attack, observations,
+                                     AttackSurface.GROUP_ANONYMOUS)
+        assert rate == 1.0
+
+    def test_group_anonymous_wrong_user_fails(self, attack):
+        text = OR_SEPARATOR.join(["zzz qqq", "flu symptoms"])
+        # Ground truth says u2 issued it, but it matches u1's profile.
+        observations = [obs("issuer", text, "u2", real_index=1, group_id=1)]
+        rate = reidentification_rate(attack, observations,
+                                     AttackSurface.GROUP_ANONYMOUS)
+        assert rate == 0.0
+
+
+class TestAnonymousSingle:
+    def test_fake_dilution(self, attack):
+        observations = [
+            obs("relay1", "flu symptoms", "u1"),
+            obs("relay2", "football scores", "u1", is_fake=True),
+            obs("relay3", "hockey league", "u1", is_fake=True),
+            obs("relay4", "tennis open", "u1", is_fake=True),
+        ]
+        rate = reidentification_rate(attack, observations,
+                                     AttackSurface.ANONYMOUS_SINGLE)
+        # Real query attributed correctly, but denominator includes the
+        # three fakes: the paper's dilution argument.
+        assert rate == pytest.approx(0.25)
+
+    def test_k0_reduces_to_tor(self, attack):
+        observations = [obs("relay", "flu symptoms", "u1")]
+        rate = reidentification_rate(attack, observations,
+                                     AttackSurface.ANONYMOUS_SINGLE)
+        assert rate == 1.0
+
+    def test_fake_attributed_to_original_user_not_counted(self, attack):
+        # A fake is u2's real past query; the attacker may map it to u2,
+        # but that is not a successful re-identification of anything.
+        observations = [obs("relay", "football scores", "u1", is_fake=True)]
+        rate = reidentification_rate(attack, observations,
+                                     AttackSurface.ANONYMOUS_SINGLE)
+        assert rate == 0.0
+
+
+class TestEdgeCases:
+    def test_empty_observations(self, attack):
+        for surface in AttackSurface:
+            assert reidentification_rate(attack, [], surface) == 0.0
+
+    def test_group_surface_without_groups(self, attack):
+        observations = [obs("u1", "plain", "u1")]
+        assert reidentification_rate(
+            attack, observations, AttackSurface.GROUP_IDENTIFIED) == 0.0

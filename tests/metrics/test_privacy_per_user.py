@@ -1,0 +1,54 @@
+"""Tests for the per-user exposure breakdown."""
+
+import pytest
+
+from repro.attacks.profiles import UserProfile
+from repro.attacks.simattack import SimAttack
+from repro.baselines.base import EngineObservation
+from repro.metrics.privacy import per_user_exposure
+
+
+@pytest.fixture
+def attack():
+    profiles = {"heavy": UserProfile("heavy"), "light": UserProfile("light")}
+    for query in ("flu symptoms", "flu vaccine", "cancer symptoms",
+                  "flu treatment"):
+        profiles["heavy"].add_query(query)
+    profiles["light"].add_query("espresso machines")
+    return SimAttack(profiles)
+
+
+def obs(text, user, fake=False):
+    return EngineObservation(identity="relay", text=text, true_user=user,
+                             is_fake=fake)
+
+
+class TestPerUserExposure:
+    def test_heavy_profile_more_exposed(self, attack):
+        observations = [
+            obs("flu symptoms", "heavy"),
+            obs("flu vaccine", "heavy"),
+            obs("totally novel words", "light"),
+            obs("another novel thing", "light"),
+        ]
+        exposure = per_user_exposure(attack, observations)
+        assert exposure["heavy"] > exposure["light"]
+        assert exposure["light"] == 0.0
+
+    def test_fakes_excluded_from_denominator(self, attack):
+        observations = [
+            obs("flu symptoms", "heavy"),
+            obs("noise noise", "heavy", fake=True),
+            obs("more noise", "heavy", fake=True),
+        ]
+        exposure = per_user_exposure(attack, observations)
+        assert exposure["heavy"] == 1.0  # 1 real query, attributed
+
+    def test_bounds(self, attack):
+        observations = [obs("flu symptoms", "heavy"),
+                        obs("qqq zzz", "heavy")]
+        exposure = per_user_exposure(attack, observations)
+        assert 0.0 <= exposure["heavy"] <= 1.0
+
+    def test_empty(self, attack):
+        assert per_user_exposure(attack, []) == {}

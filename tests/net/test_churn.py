@@ -1,0 +1,72 @@
+"""Tests for the churn process and overlay recovery under it."""
+
+import random
+
+import pytest
+
+from repro.core.client import CyclosaNetwork
+from repro.core.config import CyclosaConfig
+from repro.net.churn import ChurnProcess
+
+
+class TestChurnProcess:
+    @pytest.fixture
+    def deployment(self):
+        config = CyclosaConfig(relay_timeout=2.0, max_retries=4)
+        return CyclosaNetwork.create(num_nodes=14, seed=23, config=config,
+                                     warmup_seconds=40)
+
+    def test_crash_departures_fire_in_window(self, deployment):
+        departed = []
+        churn = ChurnProcess(deployment.network, deployment.rng,
+                             repository=deployment.services.repository,
+                             on_depart=departed.append)
+        victims = deployment.nodes[10:13]
+        now = deployment.simulator.now
+        events = churn.schedule_departures(victims, start=now + 1,
+                                           duration=10.0)
+        assert all(now + 1 <= e.time <= now + 11 for e in events)
+        deployment.run(15.0)
+        assert sorted(departed) == sorted(v.address for v in victims)
+        for victim in victims:
+            assert not deployment.network.knows(victim.address)
+
+    def test_graceful_departure_retires_from_repo(self, deployment):
+        churn = ChurnProcess(deployment.network, deployment.rng,
+                             repository=deployment.services.repository)
+        victim = deployment.nodes[9]
+        churn.schedule_departures([victim],
+                                  start=deployment.simulator.now + 1,
+                                  duration=1.0, style="graceful")
+        deployment.run(5.0)
+        fresh_sample = deployment.services.repository.sample(100)
+        assert victim.address not in fresh_sample
+
+    def test_crash_leaves_stale_repo_entry(self, deployment):
+        churn = ChurnProcess(deployment.network, deployment.rng,
+                             repository=deployment.services.repository)
+        victim = deployment.nodes[8]
+        churn.schedule_departures([victim],
+                                  start=deployment.simulator.now + 1,
+                                  duration=1.0, style="crash")
+        deployment.run(5.0)
+        assert victim.address in deployment.services.repository.sample(100)
+
+    def test_invalid_style_rejected(self, deployment):
+        churn = ChurnProcess(deployment.network, deployment.rng)
+        with pytest.raises(ValueError):
+            churn.schedule_departures([], start=0, duration=1, style="odd")
+
+    def test_searches_survive_ongoing_churn(self, deployment):
+        churn = ChurnProcess(deployment.network, deployment.rng,
+                             repository=deployment.services.repository)
+        churn.schedule_departures(deployment.nodes[9:13],
+                                  start=deployment.simulator.now + 2,
+                                  duration=30.0)
+        outcomes = []
+        for index in range(10):
+            outcomes.append(deployment.node(index % 4).search(
+                f"churn survival probe {index}", k_override=2,
+                max_wait=180.0))
+        successes = sum(1 for result in outcomes if result.ok)
+        assert successes >= 8  # blacklist+retry absorbs the churn

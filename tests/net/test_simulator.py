@@ -1,0 +1,124 @@
+"""Tests for repro.net.simulator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.simulator import Simulator
+
+
+class TestScheduling:
+    def test_time_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("late"))
+        sim.schedule(1.0, lambda: order.append("early"))
+        sim.run()
+        assert order == ["early", "late"]
+
+    def test_fifo_tie_break(self):
+        sim = Simulator()
+        order = []
+        for index in range(10):
+            sim.schedule(1.0, lambda i=index: order.append(i))
+        sim.run()
+        assert order == list(range(10))
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(3.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [3.5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        seen = []
+        sim.schedule_at(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            sim.schedule(1.0, lambda: seen.append(sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert seen == [2.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        handle = sim.schedule(0.5, lambda: None)
+        sim.run()
+        handle.cancel()  # must not raise
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_at_bound(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(2))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_advance_moves_relative(self):
+        sim = Simulator()
+        sim.advance(2.0)
+        sim.advance(3.0)
+        assert sim.now == 5.0
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def rescheduling():
+            sim.schedule(0.1, rescheduling)
+
+        sim.schedule(0.1, rescheduling)
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=100)
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0,
+                              allow_nan=False), min_size=1, max_size=50))
+    def test_property_execution_order_is_sorted(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)

@@ -1,0 +1,217 @@
+"""Tests for repro.net.tls: handshake, records, attested channels."""
+
+import random
+
+import pytest
+
+from repro.crypto.keys import IdentityKeyPair
+from repro.net.latency import ConstantLatency
+from repro.net.simulator import Simulator
+from repro.net.transport import Network, NetNode
+from repro.net.tls import (
+    SecureChannel,
+    SecureChannelManager,
+    SgxAuthenticator,
+    SignatureAuthenticator,
+    TlsError,
+    _directional_keys,
+)
+from repro.sgx.attestation import IntelAttestationService, MeasurementPolicy
+from repro.sgx.enclave import Enclave, EnclaveHost
+
+
+class TlsNode(NetNode):
+    def __init__(self, network, address, manager_factory):
+        super().__init__(network, address)
+        self.tls = manager_factory(self)
+
+    def handle_request(self, ctx):
+        self.tls.handle_handshake(ctx)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(7)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def net(sim, rng):
+    return Network(sim, rng, default_latency=ConstantLatency(0.01))
+
+
+def _sig_manager(rng):
+    def factory(node):
+        identity = IdentityKeyPair.generate(bits=512, rng=rng)
+        return SecureChannelManager(
+            node, SignatureAuthenticator(identity), rng)
+
+    return factory
+
+
+class TestHandshake:
+    def test_establish_and_roundtrip(self, net, sim, rng):
+        a = TlsNode(net, "a", _sig_manager(rng))
+        b = TlsNode(net, "b", _sig_manager(rng))
+        ready = []
+        a.tls.establish("b", on_ready=ready.append)
+        sim.run()
+        assert ready
+        channel_a = a.tls.channel("b")
+        channel_b = b.tls.channel("a")
+        sealed = channel_a.seal({"query": "secret"}, rng=rng)
+        assert channel_b.open(sealed) == {"query": "secret"}
+
+    def test_bidirectional_records(self, net, sim, rng):
+        a = TlsNode(net, "a", _sig_manager(rng))
+        b = TlsNode(net, "b", _sig_manager(rng))
+        a.tls.establish("b", on_ready=lambda ch: None)
+        sim.run()
+        back = b.tls.channel("a").seal("reply", rng=rng)
+        assert a.tls.channel("b").open(back) == "reply"
+
+    def test_on_established_fires_both_sides(self, net, sim, rng):
+        established = []
+
+        def factory_with_hook(node):
+            identity = IdentityKeyPair.generate(bits=512, rng=rng)
+            return SecureChannelManager(
+                node, SignatureAuthenticator(identity), rng,
+                on_established=lambda ch: established.append(
+                    (node.address, ch.peer)))
+
+        a = TlsNode(net, "a", factory_with_hook)
+        TlsNode(net, "b", factory_with_hook)
+        a.tls.establish("b", on_ready=lambda ch: None)
+        sim.run()
+        assert ("a", "b") in established and ("b", "a") in established
+
+    def test_handshake_timeout(self, net, sim, rng):
+        a = TlsNode(net, "a", _sig_manager(rng))
+        failures = []
+        # "b" exists but never answers handshake kinds.
+        NetNode(net, "b")
+        a.tls.establish("b", on_ready=lambda ch: None,
+                        on_fail=failures.append, timeout=1.0)
+        sim.run()
+        assert failures == ["handshake timeout"]
+
+    def test_pinned_trust_anchor_rejects_unknown_key(self, net, sim, rng):
+        pinned_fingerprint = b"\x00" * 32
+
+        def pinning_factory(node):
+            identity = IdentityKeyPair.generate(bits=512, rng=rng)
+            return SecureChannelManager(
+                node,
+                SignatureAuthenticator(
+                    identity,
+                    trust_anchor=lambda pub: pub.fingerprint() == pinned_fingerprint),
+                rng)
+
+        a = TlsNode(net, "a", pinning_factory)
+        TlsNode(net, "b", _sig_manager(rng))
+        failures = []
+        a.tls.establish("b", on_ready=lambda ch: None,
+                        on_fail=failures.append, timeout=5.0)
+        sim.run()
+        assert failures  # peer key not pinned -> rejected
+
+
+class TestRecordLayer:
+    def _pair(self):
+        send_a, recv_a = _directional_keys(b"s" * 32, initiator=True)
+        send_b, recv_b = _directional_keys(b"s" * 32, initiator=False)
+        return (SecureChannel(peer="b", send_key=send_a, recv_key=recv_a),
+                SecureChannel(peer="a", send_key=send_b, recv_key=recv_b))
+
+    def test_out_of_order_delivery_accepted(self, rng):
+        a, b = self._pair()
+        first = a.seal("one", rng=rng)
+        second = a.seal("two", rng=rng)
+        assert b.open(second) == "two"
+        assert b.open(first) == "one"
+
+    def test_replay_rejected(self, rng):
+        a, b = self._pair()
+        record = a.seal("payload", rng=rng)
+        assert b.open(record) == "payload"
+        with pytest.raises(TlsError):
+            b.open(record)
+
+    def test_tampered_record_rejected(self, rng):
+        a, b = self._pair()
+        record = bytearray(a.seal("payload", rng=rng))
+        record[-1] ^= 1
+        with pytest.raises(TlsError):
+            b.open(bytes(record))
+
+    def test_short_record_rejected(self):
+        _, b = self._pair()
+        with pytest.raises(TlsError):
+            b.open(b"tiny")
+
+    def test_directional_keys_are_asymmetric(self):
+        send_a, recv_a = _directional_keys(b"s" * 32, initiator=True)
+        assert send_a.key != recv_a.key
+
+
+class TestSgxAuthenticatedChannels:
+    class PeerEnclave(Enclave):
+        ENCLAVE_VERSION = "1"
+        BASE_FOOTPRINT_BYTES = 4096
+
+    def _sgx_factory(self, rng, ias, policy):
+        def factory(node):
+            host = EnclaveHost(rng)
+            enclave = host.create_enclave(self.PeerEnclave)
+            ias.provision_host(host)
+            node.host = host
+            node.enclave = enclave
+            return SecureChannelManager(
+                node, SgxAuthenticator(enclave, host, ias, policy), rng)
+
+        return factory
+
+    def test_attested_handshake_succeeds(self, net, sim, rng):
+        ias = IntelAttestationService()
+        policy = MeasurementPolicy()
+        policy.allow_class(self.PeerEnclave)
+        factory = self._sgx_factory(rng, ias, policy)
+        a = TlsNode(net, "a", factory)
+        TlsNode(net, "b", factory)
+        ready = []
+        a.tls.establish("b", on_ready=ready.append)
+        sim.run()
+        assert ready
+
+    def test_unattested_initiator_gets_no_channel(self, net, sim, rng):
+        ias = IntelAttestationService()
+        policy = MeasurementPolicy()
+        policy.allow_class(self.PeerEnclave)
+        # Responder requires quotes; initiator only has a signature.
+        responder = TlsNode(net, "b", self._sgx_factory(rng, ias, policy))
+        initiator = TlsNode(net, "a", _sig_manager(rng))
+        failures = []
+        initiator.tls.establish("b", on_ready=lambda ch: None,
+                                on_fail=failures.append, timeout=2.0)
+        sim.run()
+        assert failures
+        assert responder.tls.channel("a") is None
+
+    def test_revoked_platform_rejected(self, net, sim, rng):
+        ias = IntelAttestationService()
+        policy = MeasurementPolicy()
+        policy.allow_class(self.PeerEnclave)
+        factory = self._sgx_factory(rng, ias, policy)
+        a = TlsNode(net, "a", factory)
+        b = TlsNode(net, "b", factory)
+        ias.revoke(b.host.platform_id)
+        failures = []
+        a.tls.establish("b", on_ready=lambda ch: None,
+                        on_fail=failures.append, timeout=2.0)
+        sim.run()
+        assert failures == ["peer credential rejected"]

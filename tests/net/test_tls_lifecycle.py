@@ -1,0 +1,87 @@
+"""Secure-channel lifecycle: rekeying, concurrent handshakes, caching."""
+
+import random
+
+import pytest
+
+from repro.crypto.keys import IdentityKeyPair
+from repro.net.latency import ConstantLatency
+from repro.net.simulator import Simulator
+from repro.net.transport import Network, NetNode
+from repro.net.tls import SecureChannelManager, SignatureAuthenticator, TlsError
+
+
+class TlsNode(NetNode):
+    def __init__(self, network, address, rng):
+        super().__init__(network, address)
+        identity = IdentityKeyPair.generate(bits=512, rng=rng)
+        self.tls = SecureChannelManager(
+            self, SignatureAuthenticator(identity), rng)
+
+    def handle_request(self, ctx):
+        self.tls.handle_handshake(ctx)
+
+
+@pytest.fixture
+def pair():
+    rng = random.Random(21)
+    sim = Simulator()
+    net = Network(sim, rng, default_latency=ConstantLatency(0.01))
+    a = TlsNode(net, "a", rng)
+    b = TlsNode(net, "b", rng)
+    return sim, rng, a, b
+
+
+class TestLifecycle:
+    def test_rekey_replaces_channel(self, pair):
+        sim, rng, a, b = pair
+        a.tls.establish("b", on_ready=lambda ch: None)
+        sim.run()
+        first = a.tls.channel("b")
+        a.tls.establish("b", on_ready=lambda ch: None)
+        sim.run()
+        second = a.tls.channel("b")
+        assert second is not first
+        assert first.send_key.key != second.send_key.key
+
+    def test_old_records_unreadable_after_rekey(self, pair):
+        sim, rng, a, b = pair
+        a.tls.establish("b", on_ready=lambda ch: None)
+        sim.run()
+        stale = a.tls.channel("b").seal("old secret", rng=rng)
+        a.tls.establish("b", on_ready=lambda ch: None)
+        sim.run()
+        with pytest.raises(TlsError):
+            b.tls.channel("a").open(stale)
+
+    def test_concurrent_handshakes_both_complete(self, pair):
+        """Simultaneous cross-handshakes: both callers get on_ready and
+        the two sides end up with a *matching* channel pair (the
+        smaller address keeps the initiator role)."""
+        sim, rng, a, b = pair
+        ready = []
+        a.tls.establish("b", on_ready=lambda ch: ready.append("a->b"))
+        b.tls.establish("a", on_ready=lambda ch: ready.append("b->a"))
+        sim.run()
+        assert sorted(ready) == ["a->b", "b->a"]
+        record = a.tls.channel("b").seal("after the race", rng=rng)
+        assert b.tls.channel("a").open(record) == "after the race"
+        reverse = b.tls.channel("a").seal("and back", rng=rng)
+        assert a.tls.channel("b").open(reverse) == "and back"
+
+    def test_channel_cache_lookup(self, pair):
+        sim, rng, a, b = pair
+        assert a.tls.channel("b") is None
+        a.tls.establish("b", on_ready=lambda ch: None)
+        sim.run()
+        assert a.tls.channel("b") is not None
+        assert a.tls.channel("stranger") is None
+
+    def test_many_sequential_records(self, pair):
+        sim, rng, a, b = pair
+        a.tls.establish("b", on_ready=lambda ch: None)
+        sim.run()
+        sender = a.tls.channel("b")
+        receiver = b.tls.channel("a")
+        for index in range(100):
+            assert receiver.open(sender.seal(index, rng=rng)) == index

@@ -1,0 +1,86 @@
+"""Tests for the message-tracing wiretap."""
+
+import random
+
+import pytest
+
+from repro.net.latency import ConstantLatency
+from repro.net.simulator import Simulator
+from repro.net.trace import MessageTrace
+from repro.net.transport import Network, NetNode
+
+
+class Echo(NetNode):
+    def handle_request(self, ctx):
+        ctx.respond("pong")
+
+
+@pytest.fixture
+def setup():
+    rng = random.Random(2)
+    sim = Simulator()
+    net = Network(sim, rng, default_latency=ConstantLatency(0.01))
+    a = Echo(net, "a")
+    b = Echo(net, "b")
+    return sim, net, a, b
+
+
+class TestTrace:
+    def test_captures_matching_kinds(self, setup):
+        sim, net, a, b = setup
+        with MessageTrace(net, kinds=("ping",)) as trace:
+            a.send("b", "ping", b"\x00" * 40)
+            a.send("b", "other", b"\x00" * 10)
+            sim.run()
+        assert len(trace) == 1
+        assert trace.records[0].size_bytes == 40
+        assert trace.records[0].payload_is_bytes
+
+    def test_filters_by_endpoints(self, setup):
+        sim, net, a, b = setup
+        with MessageTrace(net, dst="b") as trace:
+            a.send("b", "x", "one")
+            b.send("a", "x", "two")
+            sim.run()
+        assert len(trace) == 1
+        assert trace.records[0].dst == "b"
+
+    def test_uninstalls_on_exit(self, setup):
+        sim, net, a, b = setup
+        with MessageTrace(net) as trace:
+            a.send("b", "x", "one")
+        a.send("b", "x", "two")
+        sim.run()
+        assert len(trace) == 1
+
+    def test_rpc_roundtrip_traced_both_ways(self, setup):
+        sim, net, a, b = setup
+        with MessageTrace(net) as trace:
+            a.request("b", "ping", lambda r: None)
+            sim.run()
+        kinds = [r.kind for r in trace]
+        assert "rpc.req" in kinds and "rpc.rsp" in kinds
+        assert trace.between("a", "b") and trace.between("b", "a")
+
+    def test_double_install_rejected(self, setup):
+        sim, net, a, b = setup
+        trace = MessageTrace(net)
+        with trace:
+            with pytest.raises(RuntimeError):
+                trace.__enter__()
+
+    def test_delivery_unaffected(self, setup):
+        sim, net, a, b = setup
+        replies = []
+        with MessageTrace(net):
+            a.request("b", "q", replies.append)
+            sim.run()
+        assert replies == ["pong"]
+
+    def test_sizes_helper(self, setup):
+        sim, net, a, b = setup
+        with MessageTrace(net, kinds=("data",)) as trace:
+            for size in (10, 20, 30):
+                a.send("b", "data", b"\x00" * size)
+            sim.run()
+        assert trace.sizes() == [10, 20, 30]

@@ -1,0 +1,226 @@
+"""Tests for repro.net.transport."""
+
+import random
+
+import pytest
+
+from repro.net.latency import ConstantLatency
+from repro.net.simulator import Simulator
+from repro.net.transport import Network, NetNode, NetworkError, RequestContext
+
+
+class EchoNode(NetNode):
+    """RPC server echoing payloads; records datagrams."""
+
+    def __init__(self, network, address, respond=True):
+        super().__init__(network, address)
+        self.datagrams = []
+        self.respond = respond
+
+    def handle_request(self, ctx: RequestContext):
+        if self.respond:
+            ctx.respond({"echo": ctx.request.payload})
+
+    def handle_datagram(self, message):
+        self.datagrams.append(message)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def net(sim, rng):
+    return Network(sim, rng, default_latency=ConstantLatency(0.01))
+
+
+class TestRegistration:
+    def test_register_and_lookup(self, net):
+        node = EchoNode(net, "a")
+        assert net.node("a") is node
+        assert net.knows("a")
+
+    def test_duplicate_address_rejected(self, net):
+        EchoNode(net, "a")
+        with pytest.raises(NetworkError):
+            EchoNode(net, "a")
+
+    def test_unknown_address_raises(self, net):
+        with pytest.raises(NetworkError):
+            net.node("ghost")
+
+    def test_unknown_sender_rejected(self, net):
+        with pytest.raises(NetworkError):
+            net.send("ghost", "a", "kind", {})
+
+
+class TestDelivery:
+    def test_datagram_arrives_after_latency(self, net, sim):
+        EchoNode(net, "a")
+        b = EchoNode(net, "b")
+        net.node("a").send("b", "data", "hello")
+        sim.run()
+        assert len(b.datagrams) == 1
+        assert b.datagrams[0].payload == "hello"
+        assert sim.now == pytest.approx(0.01)
+
+    def test_message_to_churned_node_dropped(self, net, sim):
+        a = EchoNode(net, "a")
+        EchoNode(net, "b")
+        a.send("b", "data", "hello")
+        net.unregister("b")
+        sim.run()
+        assert net.stats.dropped == 1
+
+    def test_per_pair_latency_override(self, net, sim):
+        a = EchoNode(net, "a")
+        b = EchoNode(net, "b")
+        net.set_link_latency("a", "b", ConstantLatency(0.5))
+        a.send("b", "data", "x")
+        sim.run()
+        assert sim.now == pytest.approx(0.5)
+
+    def test_node_latency_override(self, net, sim):
+        a = EchoNode(net, "a")
+        b = EchoNode(net, "b")
+        net.set_node_latency("b", ConstantLatency(0.3))
+        a.send("b", "data", "x")
+        sim.run()
+        assert sim.now == pytest.approx(0.3)
+
+    def test_pair_override_beats_node_override(self, net, sim):
+        a = EchoNode(net, "a")
+        b = EchoNode(net, "b")
+        net.set_node_latency("b", ConstantLatency(0.3))
+        net.set_link_latency("a", "b", ConstantLatency(0.1))
+        a.send("b", "data", "x")
+        sim.run()
+        assert sim.now == pytest.approx(0.1)
+
+    def test_bandwidth_adds_serialisation_delay(self, sim, rng):
+        net = Network(sim, rng, default_latency=ConstantLatency(0.0),
+                      bandwidth_bytes_per_s=1000.0)
+        a = EchoNode(net, "a")
+        b = EchoNode(net, "b")
+        a.send("b", "data", b"x" * 500)
+        sim.run()
+        assert sim.now == pytest.approx(0.5)
+
+    def test_loss_probability(self, sim, rng):
+        net = Network(sim, rng, default_latency=ConstantLatency(0.0),
+                      loss_probability=0.5)
+        a = EchoNode(net, "a")
+        b = EchoNode(net, "b")
+        for _ in range(200):
+            a.send("b", "data", "x")
+        sim.run()
+        assert 40 < len(b.datagrams) < 160
+        assert net.stats.dropped == 200 - len(b.datagrams)
+
+    def test_invalid_loss_probability(self, sim, rng):
+        with pytest.raises(NetworkError):
+            Network(sim, rng, loss_probability=1.0)
+
+    def test_stats_accumulate(self, net, sim):
+        a = EchoNode(net, "a")
+        EchoNode(net, "b")
+        a.send("b", "data", b"12345")
+        assert net.stats.messages == 1
+        assert net.stats.bytes == 5
+
+
+class TestRpc:
+    def test_request_reply(self, net, sim):
+        a = EchoNode(net, "a")
+        EchoNode(net, "b")
+        replies = []
+        a.request("b", {"q": 1}, replies.append)
+        sim.run()
+        assert replies == [{"echo": {"q": 1}}]
+
+    def test_timeout_fires_without_response(self, net, sim):
+        a = EchoNode(net, "a")
+        EchoNode(net, "b", respond=False)
+        timeouts = []
+        a.request("b", "q", lambda r: None, timeout=1.0,
+                  on_timeout=lambda: timeouts.append(1))
+        sim.run()
+        assert timeouts == [1]
+
+    def test_timeout_cancelled_by_reply(self, net, sim):
+        a = EchoNode(net, "a")
+        EchoNode(net, "b")
+        timeouts = []
+        replies = []
+        a.request("b", "q", replies.append, timeout=10.0,
+                  on_timeout=lambda: timeouts.append(1))
+        sim.run()
+        assert replies and not timeouts
+
+    def test_duplicate_response_rejected(self, net, sim):
+        class DoubleResponder(NetNode):
+            def handle_request(self, ctx):
+                ctx.respond("one")
+                with pytest.raises(NetworkError):
+                    ctx.respond("two")
+
+        a = EchoNode(net, "a")
+        DoubleResponder(net, "c")
+        a.request("c", "q", lambda r: None)
+        sim.run()
+
+    def test_deferred_response(self, net, sim):
+        class SlowResponder(NetNode):
+            def handle_request(self, ctx):
+                self.network.simulator.schedule(
+                    1.0, lambda: ctx.respond("late"))
+
+        a = EchoNode(net, "a")
+        SlowResponder(net, "slow")
+        replies = []
+        a.request("slow", "q", replies.append)
+        sim.run()
+        assert replies == ["late"]
+        assert sim.now >= 1.0
+
+    def test_concurrent_requests_correlate(self, net, sim):
+        class TaggingResponder(NetNode):
+            def handle_request(self, ctx):
+                ctx.respond(ctx.request.payload * 10)
+
+        a = EchoNode(net, "a")
+        TaggingResponder(net, "t")
+        replies = []
+        for value in (1, 2, 3):
+            a.request("t", value, replies.append)
+        sim.run()
+        assert sorted(replies) == [10, 20, 30]
+
+
+class TestCrashedHostSemantics:
+    def test_departed_sender_messages_dropped_silently(self, net, sim):
+        a = EchoNode(net, "a")
+        EchoNode(net, "b")
+        net.unregister("a")
+        # A leftover timer of the dead node fires and tries to send.
+        assert net.send("a", "b", "data", "zombie") is None
+        assert net.stats.dropped == 1
+
+    def test_never_registered_sender_still_raises(self, net):
+        with pytest.raises(NetworkError):
+            net.send("never-existed", "b", "data", "x")
+
+    def test_departed_address_can_rejoin(self, net, sim):
+        a = EchoNode(net, "a")
+        b = EchoNode(net, "b")
+        net.unregister("a")
+        rejoined = EchoNode(net, "a")  # same address, new incarnation
+        rejoined.send("b", "data", "back")
+        sim.run()
+        assert b.datagrams and b.datagrams[-1].payload == "back"

@@ -1,0 +1,46 @@
+"""Negative-path tests for the wire codec."""
+
+import pytest
+
+from repro.net import wire
+
+
+class TestMalformedInput:
+    def test_not_json(self):
+        with pytest.raises(Exception):
+            wire.decode(b"\x00\x01 not json")
+
+    def test_truncated_json(self):
+        with pytest.raises(Exception):
+            wire.decode(b'{"key": [1, 2')
+
+    def test_invalid_utf8(self):
+        with pytest.raises(Exception):
+            wire.decode(b"\xff\xfe\xfd")
+
+    def test_bytes_tag_with_bad_hex(self):
+        with pytest.raises(ValueError):
+            wire.decode(b'{"__bytes__": "zz-not-hex"}')
+
+    def test_bytes_tag_plus_other_keys_is_a_plain_dict(self):
+        # Only a dict whose *sole* key is the tag decodes to bytes.
+        decoded = wire.decode(b'{"__bytes__": "00", "other": 1}')
+        assert decoded == {"__bytes__": "00", "other": 1}
+
+    def test_empty_payload(self):
+        with pytest.raises(Exception):
+            wire.decode(b"")
+
+
+class TestCodecBoundaries:
+    def test_deeply_nested_roundtrip(self):
+        value = {"a": [{"b": [{"c": [b"\x01", None, True]}]}]}
+        assert wire.decode(wire.encode(value)) == value
+
+    def test_unicode_text(self):
+        value = {"query": "santé publique — rückfall 健康"}
+        assert wire.decode(wire.encode(value)) == value
+
+    def test_large_bytes_roundtrip(self):
+        blob = bytes(range(256)) * 256  # 64 KiB
+        assert wire.decode(wire.encode({"blob": blob}))["blob"] == blob

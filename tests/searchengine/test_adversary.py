@@ -1,0 +1,34 @@
+"""Tests for the honest-but-curious query log tap."""
+
+from repro.searchengine.adversary import QueryLogTap
+
+
+class TestTap:
+    def test_records_in_order(self):
+        tap = QueryLogTap()
+        tap.record("relay1", "query one", 1.0)
+        tap.record("relay2", "query two", 2.0, true_user="u1", is_fake=True)
+        assert len(tap) == 2
+        assert tap.entries[0].identity == "relay1"
+        assert tap.entries[1].is_fake
+
+    def test_entries_returns_copy(self):
+        tap = QueryLogTap()
+        tap.record("a", "q", 0.0)
+        entries = tap.entries
+        entries.clear()
+        assert len(tap) == 1
+
+    def test_clear(self):
+        tap = QueryLogTap()
+        tap.record("a", "q", 0.0)
+        tap.clear()
+        assert len(tap) == 0
+
+    def test_ground_truth_defaults(self):
+        tap = QueryLogTap()
+        tap.record("a", "q", 0.0)
+        entry = tap.entries[0]
+        assert entry.true_user is None
+        assert not entry.is_fake
+        assert entry.group_id is None

@@ -1,0 +1,88 @@
+"""Tests for the TF-IDF engine and OR semantics."""
+
+import pytest
+
+from repro.searchengine.corpus import build_corpus
+from repro.searchengine.engine import OR_SEPARATOR, SearchEngine
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return SearchEngine(build_corpus(docs_per_topic=30, seed=2),
+                        results_per_query=10)
+
+
+class TestRankedRetrieval:
+    def test_returns_topk(self, engine):
+        hits = engine.search("symptoms treatment cancer")
+        assert 0 < len(hits) <= 10
+
+    def test_results_on_topic(self, engine):
+        hits = engine.search("symptoms treatment cancer diagnosis")
+        health = sum(1 for hit in hits
+                     if engine.document(hit.doc_id).topic == "health")
+        assert health >= len(hits) * 0.7
+
+    def test_scores_descending(self, engine):
+        hits = engine.search("football basketball league")
+        scores = [hit.score for hit in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_deterministic(self, engine):
+        a = [h.doc_id for h in engine.search("flight hotel booking")]
+        b = [h.doc_id for h in engine.search("flight hotel booking")]
+        assert a == b
+
+    def test_unknown_terms_empty(self, engine):
+        assert engine.search("zzzzunknownzzzz") == []
+
+    def test_empty_query(self, engine):
+        assert engine.search("") == []
+
+    def test_snippet_terms_matched(self, engine):
+        hits = engine.search("symptoms cancer")
+        for hit in hits[:3]:
+            document = engine.document(hit.doc_id)
+            for term in hit.snippet_terms:
+                assert term in document.tokens
+
+    def test_custom_topk(self, engine):
+        assert len(engine.search("symptoms", topk=3)) <= 3
+
+
+class TestOrSemantics:
+    def test_native_or_merges_subqueries(self, engine):
+        merged = engine.search(
+            f"symptoms cancer{OR_SEPARATOR}football league")
+        topics = {engine.document(hit.doc_id).topic for hit in merged}
+        assert {"health", "sports"} <= topics
+
+    def test_or_page_is_larger_but_bounded(self, engine):
+        single = engine.search("symptoms cancer")
+        merged = engine.search(
+            f"symptoms cancer{OR_SEPARATOR}football{OR_SEPARATOR}recipe"
+            f"{OR_SEPARATOR}mortgage")
+        assert len(merged) > len(single)
+        assert len(merged) <= 2 * engine.results_per_query
+
+    def test_or_without_native_support_dilutes(self):
+        engine = SearchEngine(build_corpus(docs_per_topic=30, seed=2),
+                              or_support="none")
+        merged = engine.search(f"symptoms cancer{OR_SEPARATOR}football league")
+        # One big bag of words: single ranking, no per-subquery pages.
+        assert len(merged) <= engine.results_per_query
+
+    def test_invalid_or_support(self):
+        with pytest.raises(ValueError):
+            SearchEngine(build_corpus(docs_per_topic=2, seed=1),
+                         or_support="maybe")
+
+    def test_real_results_buried_in_or_page(self, engine):
+        # The union competes for slots: not all of the real query's
+        # top-10 survives into the merged page (Fig 6's root cause).
+        real = {h.doc_id for h in engine.search("symptoms cancer")}
+        merged = {h.doc_id for h in engine.search(
+            f"symptoms cancer{OR_SEPARATOR}football league{OR_SEPARATOR}"
+            f"recipe dessert{OR_SEPARATOR}mortgage loan")}
+        assert real - merged  # someone got evicted
+        assert real & merged  # but not everyone

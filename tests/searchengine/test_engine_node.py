@@ -1,0 +1,116 @@
+"""Tests for the search-engine network node."""
+
+import random
+
+import pytest
+
+from repro.crypto.keys import IdentityKeyPair
+from repro.net.latency import ConstantLatency
+from repro.net.simulator import Simulator
+from repro.net.transport import Network, NetNode
+from repro.net.tls import SecureChannelManager, SignatureAuthenticator
+from repro.searchengine.corpus import build_corpus
+from repro.searchengine.engine import SearchEngine
+from repro.searchengine.node import SearchEngineNode
+from repro.searchengine.ratelimit import RateLimiter
+
+
+class PlainClient(NetNode):
+    pass
+
+
+class TlsClient(NetNode):
+    def __init__(self, network, address, rng):
+        super().__init__(network, address)
+        identity = IdentityKeyPair.generate(bits=512, rng=rng)
+        self.tls = SecureChannelManager(
+            self, SignatureAuthenticator(identity), rng)
+
+
+@pytest.fixture
+def setup():
+    rng = random.Random(4)
+    sim = Simulator()
+    net = Network(sim, rng, default_latency=ConstantLatency(0.01))
+    engine = SearchEngine(build_corpus(docs_per_topic=10, seed=1))
+    node = SearchEngineNode(net, engine, rng,
+                            processing=ConstantLatency(0.1))
+    return rng, sim, net, node
+
+
+class TestPlainSearch:
+    def test_search_and_log(self, setup):
+        rng, sim, net, engine_node = setup
+        client = PlainClient(net, "client")
+        replies = []
+        client.request(
+            "engine",
+            {"query": "symptoms cancer", "meta": {"true_user": "u1"}},
+            replies.append, kind="search")
+        sim.run()
+        assert replies and replies[0]["status"] == "ok"
+        assert replies[0]["hits"]
+        assert "title" in replies[0]["hits"][0]
+        entry = engine_node.tap.entries[0]
+        assert entry.identity == "client"
+        assert entry.true_user == "u1"
+
+    def test_processing_latency_applied(self, setup):
+        rng, sim, net, engine_node = setup
+        client = PlainClient(net, "client")
+        replies = []
+        client.request("engine", {"query": "symptoms"}, replies.append,
+                       kind="search")
+        sim.run()
+        # processing + both link hops (allow float rounding)
+        assert sim.now == pytest.approx(0.12)
+
+    def test_rate_limited_search(self):
+        rng = random.Random(5)
+        sim = Simulator()
+        net = Network(sim, rng, default_latency=ConstantLatency(0.001))
+        engine = SearchEngine(build_corpus(docs_per_topic=5, seed=1))
+        node = SearchEngineNode(
+            net, engine, rng, processing=ConstantLatency(0.001),
+            rate_limiter=RateLimiter(max_per_window=3, window_seconds=3600))
+        client = PlainClient(net, "client")
+        replies = []
+        for _ in range(5):
+            client.request("engine", {"query": "symptoms"}, replies.append,
+                           kind="search")
+        sim.run()
+        statuses = [r["status"] for r in replies]
+        assert statuses.count("ok") == 3
+        assert statuses.count("captcha") == 2
+        # Captcha'd requests are not logged (the engine never served them).
+        assert len(node.tap) == 3
+
+
+class TestTlsSearch:
+    def test_sealed_roundtrip(self, setup):
+        rng, sim, net, engine_node = setup
+        client = TlsClient(net, "client", rng)
+        client.tls.establish("engine", on_ready=lambda ch: None)
+        sim.run()
+        channel = client.tls.channel("engine")
+        sealed = channel.seal(
+            {"query": "symptoms cancer", "meta": {"true_user": "u9"}},
+            rng=rng)
+        replies = []
+        client.request("engine", sealed, replies.append, kind="searchtls")
+        sim.run()
+        assert replies
+        response = channel.open(bytes(replies[0]))
+        assert response["status"] == "ok" and response["hits"]
+        assert engine_node.tap.entries[0].true_user == "u9"
+
+    def test_sealed_without_channel_dropped(self, setup):
+        rng, sim, net, engine_node = setup
+        client = PlainClient(net, "client")
+        replies = []
+        client.request("engine", b"garbage-bytes", replies.append,
+                       kind="searchtls", timeout=2.0,
+                       on_timeout=lambda: replies.append("timeout"))
+        sim.run()
+        assert replies == ["timeout"]
+        assert len(engine_node.tap) == 0

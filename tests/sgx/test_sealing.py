@@ -1,0 +1,66 @@
+"""Tests for repro.sgx.sealing."""
+
+import random
+
+import pytest
+
+from repro.sgx.sealing import SealingError, SealingService
+
+
+MEASUREMENT_A = b"a" * 32
+MEASUREMENT_B = b"b" * 32
+
+
+@pytest.fixture
+def service():
+    return SealingService(platform_id=1, rng=random.Random(2))
+
+
+class TestSealing:
+    def test_roundtrip(self, service):
+        blob = service.seal(MEASUREMENT_A, b"table-contents")
+        assert service.unseal(MEASUREMENT_A, blob) == b"table-contents"
+
+    def test_other_measurement_cannot_unseal(self, service):
+        blob = service.seal(MEASUREMENT_A, b"secret")
+        with pytest.raises(SealingError):
+            service.unseal(MEASUREMENT_B, blob)
+
+    def test_other_platform_cannot_unseal(self, service):
+        other = SealingService(platform_id=2, rng=random.Random(3))
+        blob = service.seal(MEASUREMENT_A, b"secret")
+        with pytest.raises(SealingError):
+            other.unseal(MEASUREMENT_A, blob)
+
+    def test_same_platform_id_different_fuse_secret(self, service):
+        # Even an attacker that forges the platform id cannot unseal
+        # without the per-CPU fused secret.
+        impostor = SealingService(platform_id=1, rng=random.Random(99))
+        blob = service.seal(MEASUREMENT_A, b"secret")
+        with pytest.raises(SealingError):
+            impostor.unseal(MEASUREMENT_A, blob)
+
+    def test_tampered_blob_rejected(self, service):
+        blob = service.seal(MEASUREMENT_A, b"secret")
+        tampered = type(blob)(
+            measurement=blob.measurement,
+            platform_id=blob.platform_id,
+            ciphertext=blob.ciphertext[:-1] + bytes([blob.ciphertext[-1] ^ 1]))
+        with pytest.raises(SealingError):
+            service.unseal(MEASUREMENT_A, tampered)
+
+    def test_mislabeled_measurement_rejected(self, service):
+        # Swapping the public metadata must not redirect the blob.
+        blob = service.seal(MEASUREMENT_A, b"secret")
+        relabeled = type(blob)(
+            measurement=MEASUREMENT_B,
+            platform_id=blob.platform_id,
+            ciphertext=blob.ciphertext)
+        with pytest.raises(SealingError):
+            service.unseal(MEASUREMENT_B, relabeled)
+
+    def test_seal_is_randomised(self, service):
+        rng = random.Random(5)
+        first = service.seal(MEASUREMENT_A, b"same", rng=rng)
+        second = service.seal(MEASUREMENT_A, b"same", rng=rng)
+        assert first.ciphertext != second.ciphertext

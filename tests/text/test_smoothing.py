@@ -1,0 +1,62 @@
+"""Tests for repro.text.smoothing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text.smoothing import exponential_smoothing, smoothed_similarity
+
+
+class TestExponentialSmoothing:
+    def test_empty_is_zero(self):
+        assert exponential_smoothing([]) == 0.0
+
+    def test_single_value_passthrough(self):
+        assert exponential_smoothing([0.7]) == pytest.approx(0.7)
+
+    def test_last_value_dominates(self):
+        # alpha=0.5: s = 0.5*last + 0.5*previous_smoothed
+        assert exponential_smoothing([0.0, 1.0]) == pytest.approx(0.5)
+
+    def test_known_sequence(self):
+        # s0=0.2; s1=0.5*0.4+0.5*0.2=0.3; s2=0.5*0.8+0.5*0.3=0.55
+        assert exponential_smoothing([0.2, 0.4, 0.8]) == pytest.approx(0.55)
+
+    def test_alpha_one_takes_last(self):
+        assert exponential_smoothing([0.1, 0.9], alpha=1.0) == 0.9
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            exponential_smoothing([0.5], alpha=0.0)
+        with pytest.raises(ValueError):
+            exponential_smoothing([0.5], alpha=1.5)
+
+
+class TestSmoothedSimilarity:
+    def test_sorts_ascending_first(self):
+        # Regardless of input order, result is identical.
+        assert (smoothed_similarity([0.9, 0.1, 0.5])
+                == smoothed_similarity([0.1, 0.5, 0.9]))
+
+    def test_high_match_dominates(self):
+        value = smoothed_similarity([0.0] * 50 + [1.0])
+        assert value >= 0.5
+
+    def test_all_zeros(self):
+        assert smoothed_similarity([0.0] * 10) == 0.0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0,
+                              allow_nan=False), max_size=50))
+    def test_property_bounded_by_max(self, values):
+        result = smoothed_similarity(values)
+        upper = max(values) if values else 0.0
+        assert 0.0 <= result <= upper + 1e-12
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0,
+                              allow_nan=False), min_size=1, max_size=30),
+           st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_property_monotone_in_added_top_value(self, values, extra):
+        # Adding a value >= current max never decreases the aggregate.
+        top = max(values)
+        boosted = values + [max(top, extra)]
+        assert (smoothed_similarity(boosted)
+                >= smoothed_similarity(values) - 1e-12)

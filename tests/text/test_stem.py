@@ -1,0 +1,121 @@
+"""Tests for the Porter stemmer (classic published examples)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text.stem import porter_stem
+
+# Examples taken from Porter's 1980 paper, step by step.
+CLASSIC_CASES = [
+    # step 1a
+    ("caresses", "caress"),
+    ("ponies", "poni"),
+    ("caress", "caress"),
+    ("cats", "cat"),
+    # step 1b
+    ("feed", "feed"),
+    ("agreed", "agre"),
+    ("plastered", "plaster"),
+    ("bled", "bled"),
+    ("motoring", "motor"),
+    ("sing", "sing"),
+    # step 1b extras
+    ("conflated", "conflat"),
+    ("troubled", "troubl"),
+    ("sized", "size"),
+    ("hopping", "hop"),
+    ("tanned", "tan"),
+    ("falling", "fall"),
+    ("hissing", "hiss"),
+    ("fizzed", "fizz"),
+    ("failing", "fail"),
+    ("filing", "file"),
+    # step 1c
+    ("happy", "happi"),
+    ("sky", "sky"),
+    # step 2
+    ("relational", "relat"),
+    ("conditional", "condit"),
+    ("rational", "ration"),
+    ("valenci", "valenc"),
+    ("hesitanci", "hesit"),
+    ("digitizer", "digit"),
+    ("conformabli", "conform"),
+    ("radicalli", "radic"),
+    ("differentli", "differ"),
+    ("vileli", "vile"),
+    ("analogousli", "analog"),
+    ("vietnamization", "vietnam"),
+    ("predication", "predic"),
+    ("operator", "oper"),
+    ("feudalism", "feudal"),
+    ("decisiveness", "decis"),
+    ("hopefulness", "hope"),
+    ("callousness", "callous"),
+    ("formaliti", "formal"),
+    ("sensitiviti", "sensit"),
+    ("sensibiliti", "sensibl"),
+    # step 3
+    ("triplicate", "triplic"),
+    ("formative", "form"),
+    ("formalize", "formal"),
+    ("electriciti", "electr"),
+    ("electrical", "electr"),
+    ("hopeful", "hope"),
+    ("goodness", "good"),
+    # step 4
+    ("revival", "reviv"),
+    ("allowance", "allow"),
+    ("inference", "infer"),
+    ("airliner", "airlin"),
+    ("gyroscopic", "gyroscop"),
+    ("adjustable", "adjust"),
+    ("defensible", "defens"),
+    ("irritant", "irrit"),
+    ("replacement", "replac"),
+    ("adjustment", "adjust"),
+    ("dependent", "depend"),
+    ("adoption", "adopt"),
+    ("homologou", "homolog"),
+    ("communism", "commun"),
+    ("activate", "activ"),
+    ("angulariti", "angular"),
+    ("homologous", "homolog"),
+    ("effective", "effect"),
+    ("bowdlerize", "bowdler"),
+    # step 5
+    ("probate", "probat"),
+    ("rate", "rate"),
+    ("cease", "ceas"),
+    ("controll", "control"),
+    ("roll", "roll"),
+]
+
+
+@pytest.mark.parametrize("word,expected", CLASSIC_CASES)
+def test_classic_examples(word, expected):
+    assert porter_stem(word) == expected
+
+
+class TestEdgeCases:
+    def test_short_words_untouched(self):
+        assert porter_stem("a") == "a"
+        assert porter_stem("be") == "be"
+
+    def test_search_family_collapses(self):
+        stems = {porter_stem(w)
+                 for w in ("search", "searches", "searched", "searching")}
+        assert len(stems) == 1
+
+    def test_idempotent_on_common_words(self):
+        for word in ("symptom", "treatment", "election", "prayer"):
+            once = porter_stem(word)
+            assert porter_stem(once) == once or len(porter_stem(once)) <= len(once)
+
+
+@given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1,
+               max_size=20))
+def test_property_never_longer_and_never_crashes(word):
+    stem = porter_stem(word)
+    assert len(stem) <= len(word)
+    assert stem  # never empties a word
