@@ -1,0 +1,91 @@
+"""Disabled-observability overhead on the CYCLOSA hot path.
+
+The design contract of :mod:`repro.obs` is that instrumentation costs
+one attribute read (``OBS.enabled``) per potential event when disabled.
+Measuring that directly by timing two whole searches is hopeless — a
+search is hundreds of milliseconds of simulation work and the guards
+are nanoseconds, far below run-to-run noise. Instead:
+
+1. install a counting flag as ``OBS.enabled`` and run one search →
+   the exact number of guard evaluations a search performs;
+2. time a tight loop of real ``if OBS.enabled:`` guard reads → the
+   per-guard cost on this machine;
+3. assert guards-per-search x cost-per-guard < 5 % of the wall time of
+   one search with observability disabled.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import single_run
+from repro import obs
+from repro.core.client import CyclosaNetwork
+
+OVERHEAD_BUDGET = 0.05  # of per-search wall time
+
+
+class CountingFlag:
+    """Falsy object that counts how often it is truth-tested."""
+
+    def __init__(self) -> None:
+        self.evaluations = 0
+
+    def __bool__(self) -> bool:
+        self.evaluations += 1
+        return False
+
+
+def _guard_cost(loops: int = 200_000) -> float:
+    """Seconds per ``if OBS.enabled:`` read (amortised over a loop)."""
+    state = obs.OBS
+    hits = 0
+    begin = time.perf_counter()
+    for _ in range(loops):
+        if state.enabled:
+            hits += 1
+    elapsed = time.perf_counter() - begin
+    assert hits == 0
+    return elapsed / loops
+
+
+def test_bench_obs_disabled_overhead(benchmark, report):
+    obs.disable(reset=True)
+    deployment = CyclosaNetwork.create(num_nodes=12, seed=9)
+    user = deployment.node(0)
+    user.search("warmup query")  # touch every code path once
+
+    # 1. guard evaluations per search
+    flag = CountingFlag()
+    obs.OBS.enabled = flag
+    user.search("counted query")
+    guards_per_search = flag.evaluations
+    obs.OBS.enabled = False
+
+    # 2. cost of one guard
+    per_guard = _guard_cost()
+
+    # 3. wall time of one disabled search
+    def timed_search():
+        begin = time.perf_counter()
+        result = user.search("timed query")
+        assert result.ok
+        return time.perf_counter() - begin
+
+    search_seconds = single_run(benchmark, timed_search)
+
+    overhead = guards_per_search * per_guard
+    ratio = overhead / search_seconds
+    report("\n".join([
+        "",
+        "== Observability overhead (disabled) ==",
+        f"guard evaluations per search : {guards_per_search}",
+        f"cost per guard               : {per_guard * 1e9:.1f} ns",
+        f"guard overhead per search    : {overhead * 1e6:.1f} us",
+        f"one search (obs disabled)    : {search_seconds * 1e3:.1f} ms",
+        f"overhead ratio               : {ratio * 100:.4f} %  "
+        f"(budget {OVERHEAD_BUDGET * 100:.0f} %)",
+    ]))
+
+    assert guards_per_search > 0, "no instrumented call sites were hit"
+    assert ratio < OVERHEAD_BUDGET

@@ -5,13 +5,19 @@ Commands:
 - ``list``                      — list every reproducible experiment.
 - ``run <experiment> [...]``    — run one experiment's paper-scale CLI.
 - ``all``                       — run every analytic experiment in order.
-- ``search <query>``            — one protected search on a demo overlay.
+- ``search <query>``            — one protected search on a demo overlay
+  (``--trace`` adds the per-stage latency breakdown).
+- ``obs [query]``               — run a traced search and dump the
+  observability output (breakdown table, trace JSON-lines, or a
+  Prometheus metrics snapshot).
 
 Examples::
 
     python -m repro list
     python -m repro run fig5
     python -m repro search "flu symptoms treatment"
+    python -m repro search --trace "flu symptoms treatment"
+    python -m repro obs --format prom
 """
 
 from __future__ import annotations
@@ -87,14 +93,14 @@ def _cmd_all() -> int:
 
 
 def _cmd_search(query: str, num_nodes: int, seed: int,
-                kmax: Optional[int]) -> int:
+                kmax: Optional[int], trace: bool = False) -> int:
     from repro.core.client import CyclosaNetwork
     from repro.core.config import CyclosaConfig
 
     config = CyclosaConfig() if kmax is None else CyclosaConfig(kmax=kmax)
     print(f"bootstrapping a {num_nodes}-node overlay (seed {seed})...")
     deployment = CyclosaNetwork.create(num_nodes=num_nodes, seed=seed,
-                                       config=config)
+                                       config=config, observe=trace)
     result = deployment.node(0).search(query)
     print(f"\nquery     : {query!r}")
     print(f"status    : {result.status}")
@@ -107,6 +113,58 @@ def _cmd_search(query: str, num_nodes: int, seed: int,
     for entry in deployment.engine_log[-(result.k + 1):]:
         marker = "fake" if entry.is_fake else "REAL"
         print(f"  [{marker}] from {entry.identity}: {entry.text}")
+    if trace:
+        _print_trace_report(result.trace_id)
+    return 0 if result.ok else 1
+
+
+def _print_trace_report(trace_id: Optional[str]) -> None:
+    """Per-stage breakdown + metrics snapshot of an enabled obs run."""
+    from repro import obs
+    from repro.obs.breakdown import (format_breakdown, root_span,
+                                     stage_breakdown)
+    from repro.obs.export import prometheus_snapshot
+
+    tracer = obs.get_tracer()
+    spans = tracer.sink.spans if tracer is not None else []
+    rows = stage_breakdown(spans, trace_id=trace_id)
+    root = root_span(spans, trace_id=trace_id)
+    print(f"\npipeline trace {trace_id or '(none)'}:")
+    total = root.duration if root is not None and root.finished else None
+    t0 = root.start if root is not None else None
+    print(format_breakdown(rows, total=total, t0=t0))
+    print("\nmetrics snapshot:")
+    print(prometheus_snapshot(obs.get_registry()))
+
+
+def _cmd_obs(query: str, num_nodes: int, seed: int, fmt: str) -> int:
+    """Run one traced search and dump observability output."""
+    from repro.core.client import CyclosaNetwork
+
+    deployment = CyclosaNetwork.create(num_nodes=num_nodes, seed=seed,
+                                       observe=True)
+    result = deployment.node(0).search(query)
+    from repro import obs
+    from repro.obs.breakdown import format_breakdown, root_span, \
+        stage_breakdown
+    from repro.obs.export import prometheus_snapshot, trace_to_jsonl
+
+    tracer = obs.get_tracer()
+    spans = tracer.sink.spans if tracer is not None else []
+    if fmt == "jsonl":
+        if result.trace_id is not None:
+            spans = tracer.sink.for_trace(result.trace_id)
+        print(trace_to_jsonl(spans))
+    elif fmt == "prom":
+        print(prometheus_snapshot(obs.get_registry()), end="")
+    else:  # table
+        print(f"query  : {query!r}  (status {result.status}, "
+              f"k={result.k}, seed {seed})")
+        rows = stage_breakdown(spans, trace_id=result.trace_id)
+        root = root_span(spans, trace_id=result.trace_id)
+        total = root.duration if root is not None and root.finished else None
+        t0 = root.start if root is not None else None
+        print(format_breakdown(rows, total=total, t0=t0))
     return 0 if result.ok else 1
 
 
@@ -130,6 +188,21 @@ def build_parser() -> argparse.ArgumentParser:
     search_parser.add_argument("--nodes", type=int, default=16)
     search_parser.add_argument("--seed", type=int, default=7)
     search_parser.add_argument("--kmax", type=int, default=None)
+    search_parser.add_argument(
+        "--trace", action="store_true",
+        help="enable repro.obs and print the per-stage latency "
+             "breakdown plus a Prometheus metrics snapshot")
+
+    obs_parser = subparsers.add_parser(
+        "obs", help="run a traced search and dump observability output")
+    obs_parser.add_argument("query", nargs="?",
+                            default="flu symptoms treatment")
+    obs_parser.add_argument("--nodes", type=int, default=16)
+    obs_parser.add_argument("--seed", type=int, default=7)
+    obs_parser.add_argument(
+        "--format", choices=("table", "jsonl", "prom"), default="table",
+        help="table = per-stage breakdown, jsonl = trace dump, "
+             "prom = Prometheus text snapshot")
 
     return parser
 
@@ -144,7 +217,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "all":
         return _cmd_all()
     if args.command == "search":
-        return _cmd_search(args.query, args.nodes, args.seed, args.kmax)
+        return _cmd_search(args.query, args.nodes, args.seed, args.kmax,
+                           trace=args.trace)
+    if args.command == "obs":
+        return _cmd_obs(args.query, args.nodes, args.seed, args.format)
     parser.print_help()
     return 0
 

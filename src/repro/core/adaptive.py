@@ -11,6 +11,11 @@ assessment in [0, 1] and the maximum number of fake queries."
 from __future__ import annotations
 
 from repro.core.sensitivity import SensitivityReport
+from repro.obs import OBS
+
+#: Histogram buckets for chosen k (kmax is 7 in the paper's privacy
+#: runs; leave headroom for sweeps).
+K_BUCKETS = tuple(float(k) for k in range(17))
 
 
 def choose_k(report: SensitivityReport, kmax: int) -> int:
@@ -22,5 +27,16 @@ def choose_k(report: SensitivityReport, kmax: int) -> int:
     if kmax < 0:
         raise ValueError("kmax must be >= 0")
     if report.semantic_sensitive:
-        return kmax
-    return min(kmax, int(round(report.linkability * kmax)))
+        k = kmax
+    else:
+        k = min(kmax, int(round(report.linkability * kmax)))
+    if OBS.enabled:
+        OBS.registry.histogram(
+            "cyclosa_core_k_chosen",
+            "fake-query count selected by the adaptive rule (§V-B)",
+            buckets=K_BUCKETS).observe(k)
+        if report.semantic_sensitive:
+            OBS.registry.counter(
+                "cyclosa_core_semantic_sensitive_total",
+                "queries tagged semantically sensitive").inc()
+    return k

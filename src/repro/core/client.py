@@ -43,6 +43,9 @@ class SearchResult:
     status: str
     hits: List[Dict[str, Any]]
     latency: float
+    #: Trace id of the search's root span when observability is
+    #: enabled (see :mod:`repro.obs`); ``None`` otherwise.
+    trace_id: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -68,6 +71,7 @@ class CyclosaUser:
         holder: Dict[str, Any] = {}
         self.node.search(query, on_result=lambda r: holder.update(r),
                          k_override=k_override)
+        trace_id = self.node.last_trace_id
         simulator = self._deployment.simulator
         deadline = simulator.now + max_wait
         while "status" not in holder and simulator.now < deadline:
@@ -75,10 +79,12 @@ class CyclosaUser:
                 break
         if "status" not in holder:
             return SearchResult(query=query, k=-1, status="timeout",
-                                hits=[], latency=max_wait)
+                                hits=[], latency=max_wait,
+                                trace_id=trace_id)
         return SearchResult(
             query=holder["query"], k=holder["k"], status=holder["status"],
-            hits=holder["hits"], latency=holder["latency"])
+            hits=holder["hits"], latency=holder["latency"],
+            trace_id=trace_id)
 
     def preload_history(self, queries: List[str]) -> None:
         self.node.preload_history(queries)
@@ -102,7 +108,8 @@ class CyclosaNetwork:
                config: Optional[CyclosaConfig] = None,
                semantic: Optional[SemanticAssessor] = None,
                corpus: Optional[Corpus] = None,
-               warmup_seconds: float = 40.0) -> "CyclosaNetwork":
+               warmup_seconds: float = 40.0,
+               observe: bool = False) -> "CyclosaNetwork":
         """Build a deployment.
 
         Parameters
@@ -123,12 +130,21 @@ class CyclosaNetwork:
         warmup_seconds:
             Simulated time to let gossip mix views and engine
             handshakes finish before the deployment is used.
+        observe:
+            Enable :mod:`repro.obs` tracing + metrics for this
+            deployment, with spans stamped in *simulated* time. The
+            obs state is process-global: the last deployment created
+            with ``observe=True`` owns it.
         """
         if num_nodes < 2:
             raise ValueError("a CYCLOSA overlay needs at least 2 nodes")
         config = config or CyclosaConfig()
         rng = random.Random(seed)
         simulator = Simulator()
+        if observe:
+            import repro.obs as obs
+
+            obs.enable(simulator=simulator)
         network = Network(
             simulator, rng,
             default_latency=LogNormalLatency(
@@ -146,7 +162,8 @@ class CyclosaNetwork:
             processing=LogNormalLatency(
                 median=config.engine_processing_median,
                 sigma=config.engine_processing_sigma),
-            rate_limiter=rate_limiter)
+            rate_limiter=rate_limiter,
+            log_capacity=config.engine_log_capacity)
 
         if semantic is None:
             wordnet = SyntheticWordNet.build(seed=seed)
@@ -212,5 +229,9 @@ class CyclosaNetwork:
     @property
     def engine_log(self):
         """The honest-but-curious engine's observation log (for attacks
-        and metrics)."""
+        and metrics).
+
+        A bounded ring buffer: ``config.engine_log_capacity`` caps how
+        many observations are retained (oldest evicted first; eviction
+        counts are on ``engine_node.tap.dropped``)."""
         return self.engine_node.tap.entries

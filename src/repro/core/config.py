@@ -75,6 +75,10 @@ class CyclosaConfig:
     #: Optional per-identity hourly rate limit at the engine
     #: (None = unlimited; Fig 8d sets 1000/h).
     engine_rate_limit: Optional[int] = None
+    #: Ring-buffer capacity of the honest-but-curious engine log
+    #: (None = unbounded; the default bounds memory on long runs while
+    #: retaining far more history than any experiment consumes).
+    engine_log_capacity: Optional[int] = 100_000
 
     def __post_init__(self) -> None:
         if self.kmax < 0:
@@ -83,6 +87,9 @@ class CyclosaConfig:
             raise ValueError("smoothing_alpha must be in (0, 1]")
         if self.table_capacity < 1:
             raise ValueError("table_capacity must be >= 1")
+        if self.engine_log_capacity is not None \
+                and self.engine_log_capacity < 1:
+            raise ValueError("engine_log_capacity must be >= 1 (or None)")
         unknown = set(self.sensitive_topics) - set(SENSITIVE_TOPICS)
         # Users may define custom topics by importing dictionaries
         # (§V-A1); unknown names are allowed but must be non-empty.

@@ -34,6 +34,7 @@ from repro.core.sensitivity import (
 from repro.gossip.bootstrap_repo import PublicRepository
 from repro.gossip.peer_sampling import PeerSamplingService
 from repro.net.transport import Network, NetNode, RequestContext
+from repro.obs import OBS
 from repro.net.tls import SecureChannelManager, SgxAuthenticator, SignatureAuthenticator
 from repro.sgx.attestation import IntelAttestationService, MeasurementPolicy
 from repro.sgx.enclave import EnclaveHost
@@ -74,6 +75,10 @@ class ProtectedSearch:
     retries_left: int
     real_token: Optional[str] = None
     done: bool = False
+    #: Root span of this query's trace (None when obs is disabled).
+    trace_root: Optional[Any] = None
+    #: The open ``engine`` stage span (real record in flight).
+    engine_span: Optional[Any] = None
 
 
 class CyclosaNode(NetNode):
@@ -134,6 +139,9 @@ class CyclosaNode(NetNode):
         self.sealing = SealingService(self.host.platform_id, rng)
 
         self._searches: Dict[str, ProtectedSearch] = {}
+        #: Trace id of the most recently issued search (None when obs
+        #: is disabled); the synchronous facade surfaces it.
+        self.last_trace_id: Optional[str] = None
 
     # ------------------------------------------------------------------
     # bootstrap
@@ -184,21 +192,56 @@ class CyclosaNode(NetNode):
         *k_override* to bypass the adaptive rule (the latency sweeps of
         Fig 8b fix k explicitly).
         """
+        tracer = OBS.tracer if OBS.enabled else None
+        root = None
+        if tracer is not None:
+            root = tracer.start_span("search", attributes={
+                "node": self.address, "query_terms": len(query.split())})
+        self.last_trace_id = root.trace_id if root is not None else None
+
         if k_override is not None:
             k = k_override
+            if tracer is not None:
+                # Emit the assessment stages even when bypassed, so
+                # every trace carries the full six-stage pipeline.
+                span = tracer.start_span("sensitivity", parent=root,
+                                         attributes={"skipped": True})
+                tracer.end_span(span)
+                span = tracer.start_span(
+                    "adaptive_k", parent=root,
+                    attributes={"k": k, "override": True})
+                tracer.end_span(span)
         else:
-            report = self.sensitivity.assess(query)
-            k = choose_k(report, self.config.kmax)
+            if tracer is not None:
+                span = tracer.start_span("sensitivity", parent=root)
+                report = self.sensitivity.assess(query)
+                span.set_attributes({
+                    "semantic_sensitive": report.semantic_sensitive,
+                    "linkability": report.linkability})
+                tracer.end_span(span)
+                span = tracer.start_span("adaptive_k", parent=root)
+                k = choose_k(report, self.config.kmax)
+                span.set_attribute("k", k)
+                tracer.end_span(span)
+            else:
+                report = self.sensitivity.assess(query)
+                k = choose_k(report, self.config.kmax)
         self.sensitivity.remember(query)
         self.stats.queries_issued += 1
+        if OBS.enabled:
+            OBS.registry.counter("cyclosa_core_searches_total",
+                                 "protected searches issued").inc()
 
         # The enclave can only produce as many distinct fakes as its
         # table holds; clamp k so relay selection matches.
         k = min(k, self.enclave.table_size())
+        if root is not None:
+            root.set_attribute("k", k)
 
         search = ProtectedSearch(
             query=query, k=k, issued_at=self.network.simulator.now,
-            on_result=on_result, retries_left=self.config.max_retries)
+            on_result=on_result, retries_left=self.config.max_retries,
+            trace_root=root)
         self._select_relays_and_dispatch(search)
         return k
 
@@ -254,6 +297,11 @@ class CyclosaNode(NetNode):
             return
         k = len(relays) - 1
         search.k = min(search.k, k)
+        tracer = OBS.tracer if OBS.enabled else None
+        fake_span = None
+        if tracer is not None and search.trace_root is not None:
+            fake_span = tracer.start_span("fake_generation",
+                                          parent=search.trace_root)
         batch = self.enclave.build_protected_batch(
             search.query, search.k, relays[: search.k + 1],
             true_user=self.user_id)
@@ -261,6 +309,17 @@ class CyclosaNode(NetNode):
         # Enclave crypto cost + per-record client overhead stagger the
         # sends — this serialization is why latency grows with k (Fig 8b).
         delay = self.host.meter.take()
+        if fake_span is not None:
+            # The modelled enclave time for sealing the batch is the
+            # meter cost just drained — stamp it as the span's width.
+            fake_span.set_attributes({"k": search.k,
+                                      "records": len(batch)})
+            tracer.end_span(fake_span, end_time=fake_span.start + delay)
+        fanout_span = None
+        if tracer is not None and search.trace_root is not None:
+            fanout_span = tracer.start_span(
+                "fanout", parent=search.trace_root,
+                attributes={"records": len(batch)})
         for relay, sealed in batch:
             delay += self.config.client_request_overhead
             token = self.enclave.pending_token_for_relay(relay)
@@ -271,11 +330,23 @@ class CyclosaNode(NetNode):
                 delay,
                 lambda r=relay, s=sealed, real=is_real: self._send_record(
                     search, r, s, real))
+        if fanout_span is not None:
+            # The fan-out stage lasts until the last staggered record
+            # leaves the extension: start + the accumulated delay.
+            tracer.end_span(fanout_span,
+                            end_time=fanout_span.start + delay)
 
     def _send_record(self, search: ProtectedSearch, relay: str,
                      sealed: bytes, is_real: bool) -> None:
         if search.done:
             return
+        if (is_real and OBS.enabled and search.trace_root is not None
+                and search.engine_span is None):
+            # The "engine" stage: the real record's round trip through
+            # its relay to the search engine and back.
+            search.engine_span = OBS.tracer.start_span(
+                "engine", parent=search.trace_root,
+                attributes={"relay": relay, "bytes": len(sealed)})
 
         def on_reply(payload: Any) -> None:
             self._on_relay_response(search, relay, payload)
@@ -294,11 +365,35 @@ class CyclosaNode(NetNode):
                            payload: Any) -> None:
         if not isinstance(payload, (bytes, bytearray)):
             return
+        meter_before = self.host.meter.total
         result = self.enclave.open_relay_response(relay, bytes(payload))
+        filtering_cost = self.host.meter.total - meter_before
         if result is None:
-            return  # fake-query response or undecodable: dropped in-enclave
+            # fake-query response or undecodable: dropped in-enclave
+            if OBS.enabled:
+                OBS.registry.counter(
+                    "cyclosa_core_fake_responses_total",
+                    "relay responses filtered inside the enclave").inc()
+            return
         if search.done:
             return
+        if OBS.enabled and search.trace_root is not None:
+            tracer = OBS.tracer
+            if search.engine_span is not None:
+                search.engine_span.set_attribute("status", result["status"])
+                tracer.end_span(search.engine_span)
+                search.engine_span = None
+            span = tracer.start_span(
+                "response_filtering", parent=search.trace_root,
+                attributes={"status": result["status"],
+                            "hits": len(result["hits"])})
+            # The enclave charge for opening the response is the
+            # stage's modelled duration. The simulator delivers the
+            # result at `now` regardless (the charge lives on the cost
+            # meter), so extend the root to keep child spans nested;
+            # _finish's end_span is then an idempotent no-op.
+            tracer.end_span(span, end_time=span.start + filtering_cost)
+            tracer.end_span(search.trace_root, end_time=span.end)
         self._finish(search, status=result["status"], hits=result["hits"])
 
     def _on_relay_timeout(self, search: ProtectedSearch, relay: str,
@@ -306,6 +401,13 @@ class CyclosaNode(NetNode):
         self._blacklist(relay)
         if not is_real or search.done:
             return
+        if OBS.enabled:
+            OBS.registry.counter("cyclosa_core_relay_timeouts_total",
+                                 "real-query relay timeouts (§VI-b)").inc()
+            if search.trace_root is not None and search.engine_span is not None:
+                search.engine_span.set_attribute("timeout", True)
+                OBS.tracer.end_span(search.engine_span)
+                search.engine_span = None
         if search.retries_left <= 0 or search.real_token is None:
             self._finish(search, status="relay-failure", hits=[])
             return
@@ -335,12 +437,29 @@ class CyclosaNode(NetNode):
     def _finish(self, search: ProtectedSearch, status: str,
                 hits: List[Dict[str, Any]]) -> None:
         search.done = True
+        latency = self.network.simulator.now - search.issued_at
+        if OBS.enabled:
+            tracer = OBS.tracer
+            if search.engine_span is not None:
+                search.engine_span.set_attribute("status", status)
+                tracer.end_span(search.engine_span)
+                search.engine_span = None
+            if search.trace_root is not None:
+                search.trace_root.set_attributes(
+                    {"status": status, "k": search.k})
+                tracer.end_span(search.trace_root)
+            OBS.registry.counter("cyclosa_core_search_results_total",
+                                 "completed searches by outcome",
+                                 status=status).inc()
+            OBS.registry.histogram(
+                "cyclosa_core_search_latency_seconds",
+                "end-to-end protected-search latency").observe(latency)
         search.on_result({
             "query": search.query,
             "k": search.k,
             "status": status,
             "hits": hits,
-            "latency": self.network.simulator.now - search.issued_at,
+            "latency": latency,
         })
 
     def _blacklist(self, peer: str) -> None:
@@ -371,6 +490,9 @@ class CyclosaNode(NetNode):
             return  # unauthenticated or tampered: a Byzantine peer learns nothing
         handle, sealed_for_engine = unwrapped
         self.stats.relayed += 1
+        if OBS.enabled:
+            OBS.registry.counter("cyclosa_core_relayed_total",
+                                 "records forwarded on behalf of peers").inc()
         cost = self.host.meter.take()
 
         def forward_to_engine() -> None:

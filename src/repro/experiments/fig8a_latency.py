@@ -135,6 +135,78 @@ def run_cyclosa(num_queries: int, queries: List[str], k: int = 3,
     return latencies
 
 
+def run_cyclosa_breakdown(num_queries: int, queries: List[str], k: int = 3,
+                          seed: int = 0, num_nodes: int = 20) -> Dict:
+    """The CYCLOSA leg again, traced: where does the latency go?
+
+    Runs the same deployment with :mod:`repro.obs` enabled and returns
+    a JSON-ready dict with per-pipeline-stage timings (mean seconds per
+    query) and a component decomposition — enclave compute vs SGX gate
+    crossings vs network flight vs engine processing — taken from
+    metric deltas scoped to the query phase (warm-up excluded).
+    """
+    from repro import obs
+    from repro.obs.breakdown import PIPELINE_STAGES, stage_breakdown
+
+    deployment = CyclosaNetwork.create(num_nodes=num_nodes, seed=seed,
+                                       observe=True)
+    user = deployment.node(0)
+
+    def _value(name: str) -> float:
+        metric = obs.get_registry().get(name)
+        return float(metric.value) if metric is not None else 0.0
+
+    def _hist_sum(name: str) -> float:
+        metric = obs.get_registry().get(name)
+        return float(metric.sum) if metric is not None else 0.0
+
+    # Baselines after warm-up: gossip and handshake traffic from
+    # deployment creation must not pollute the per-query components.
+    base = {
+        "crossing": _value("cyclosa_sgx_crossing_seconds_total"),
+        "meter": _hist_sum("cyclosa_sgx_meter_charge_seconds"),
+        "network": _value("cyclosa_net_flight_seconds_total"),
+        "engine": _hist_sum("cyclosa_engine_processing_seconds"),
+    }
+    obs.get_tracer().sink.clear()
+
+    latencies = []
+    for index in range(num_queries):
+        result = user.search(queries[index % len(queries)], k_override=k)
+        if result.ok:
+            latencies.append(result.latency)
+
+    n = max(1, len(latencies))
+    stages = {
+        row.stage: {
+            "mean_seconds": row.duration / n,
+            "total_seconds": row.duration,
+            "spans": row.count,
+        }
+        for row in stage_breakdown(obs.get_tracer().sink.spans)
+        if row.stage in PIPELINE_STAGES
+    }
+    crossing = _value("cyclosa_sgx_crossing_seconds_total") - base["crossing"]
+    meter = _hist_sum("cyclosa_sgx_meter_charge_seconds") - base["meter"]
+    components = {
+        # CostMeter charges include the crossings; enclave = the rest
+        # (sealing, table maintenance, EPC traffic).
+        "enclave_seconds": max(0.0, meter - crossing),
+        "crossing_seconds": crossing,
+        "network_seconds":
+            _value("cyclosa_net_flight_seconds_total") - base["network"],
+        "engine_seconds":
+            _hist_sum("cyclosa_engine_processing_seconds") - base["engine"],
+    }
+    obs.disable(reset=True)
+    return {
+        "queries": len(latencies),
+        "k": k,
+        "stages": stages,
+        "components": components,
+    }
+
+
 def run(num_queries: int = 200, k: int = 3, seed: int = 0,
         num_users: int = 60) -> Dict[str, List[float]]:
     """Latency samples per system (the Fig 8a series)."""
@@ -150,6 +222,8 @@ def run(num_queries: int = 200, k: int = 3, seed: int = 0,
 
 
 def main() -> None:
+    import json
+
     from repro.experiments.plotting import ascii_cdf
 
     samples = run()
@@ -166,6 +240,14 @@ def main() -> None:
     for name, latencies in samples.items():
         print(f"\n{name} CDF:",
               "  ".join(f"{q:.2f}:{v:.2f}s" for q, v in cdf_points(latencies)))
+
+    # Where CYCLOSA's latency goes — a smaller traced run (repro.obs).
+    workload = build_workload(num_users=60, mean_queries_per_user=60.0,
+                              seed=0)
+    queries = [record.text for record in workload.test.records[:50]]
+    breakdown = run_cyclosa_breakdown(50, queries, k=3, seed=0)
+    print("\nCYCLOSA per-stage breakdown (traced, 50 queries):")
+    print(json.dumps(breakdown, indent=2, sort_keys=True))
 
 
 if __name__ == "__main__":

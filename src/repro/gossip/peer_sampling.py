@@ -20,6 +20,7 @@ from typing import List, Sequence
 
 from repro.gossip.view import NodeDescriptor, PartialView
 from repro.net.transport import NetNode, RequestContext
+from repro.obs import OBS
 
 GOSSIP_KIND = "pss"
 
@@ -115,6 +116,10 @@ class PeerSamplingService:
                 # age-heal locally via capacity eviction over time.
                 self._node.send(peer, f"{GOSSIP_KIND}.push", payload)
                 self.rounds_completed += 1
+                if OBS.enabled:
+                    OBS.registry.counter(
+                        "cyclosa_gossip_rounds_total",
+                        "gossip rounds initiated", mode="push").inc()
                 self._schedule_next()
                 return
 
@@ -127,10 +132,23 @@ class PeerSamplingService:
                 self.view.merge(received, sent=buffer, heal=self.heal,
                                 swap=self.swap, rng=self._rng)
                 self.rounds_completed += 1
+                if OBS.enabled:
+                    OBS.registry.counter(
+                        "cyclosa_gossip_view_exchanges_total",
+                        "completed push-pull view exchanges").inc()
 
             def on_timeout() -> None:
                 # Unresponsive peer: drop it — the self-healing step.
                 self.view.remove(peer)
+                if OBS.enabled:
+                    OBS.registry.counter(
+                        "cyclosa_gossip_peer_timeouts_total",
+                        "gossip peers dropped for unresponsiveness").inc()
+
+            if OBS.enabled:
+                OBS.registry.counter(
+                    "cyclosa_gossip_rounds_total",
+                    "gossip rounds initiated", mode="push_pull").inc()
 
             self._node.request(
                 peer, payload, on_reply, timeout=4 * self.interval,
@@ -167,6 +185,10 @@ class PeerSamplingService:
         ctx.respond([{"address": d.address, "age": d.age} for d in buffer])
         self.view.merge(received, sent=buffer, heal=self.heal,
                         swap=self.swap, rng=self._rng)
+        if OBS.enabled:
+            OBS.registry.counter(
+                "cyclosa_gossip_view_exchanges_total",
+                "completed push-pull view exchanges").inc()
         return True
 
     # -- the API CYCLOSA consumes ------------------------------------------

@@ -16,6 +16,12 @@ reproducible. Simulated time is the *only* clock in the repository —
 - :mod:`repro.net.tls`       — authenticated secure channels (DH +
   identity signatures, optionally gated on SGX remote attestation)
   carrying AEAD-sealed application payloads.
+- :mod:`repro.net.trace`     — the *adversary's* wiretap
+  (:class:`MessageTrace`): what a network observer sees, for traffic
+  analysis. Performance telemetry is a different concern and lives in
+  :mod:`repro.obs` — transport send/receive paths emit ``net.send`` /
+  ``net.recv`` spans and byte counters there when observability is
+  enabled.
 """
 
 from repro.net.latency import (
@@ -27,6 +33,7 @@ from repro.net.latency import (
     UniformLatency,
 )
 from repro.net.simulator import Simulator
+from repro.net.trace import MessageTrace, TracedMessage
 from repro.net.transport import Message, NetworkError, Network, NetNode
 from repro.net.tls import SecureChannel, SecureChannelManager, TlsError
 
@@ -38,6 +45,8 @@ __all__ = [
     "LogNormalLatency",
     "UniformLatency",
     "Simulator",
+    "MessageTrace",
+    "TracedMessage",
     "Message",
     "NetworkError",
     "Network",

@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.simulator import EventHandle, Simulator
+from repro.obs import OBS
 
 
 class NetworkError(Exception):
@@ -155,6 +156,10 @@ class Network:
                 # A crashed host's leftover timer fired: silence, not a
                 # crash of the whole simulation.
                 self.stats.dropped += 1
+                if OBS.enabled:
+                    OBS.registry.counter(
+                        "cyclosa_net_dropped_total",
+                        "messages lost (loss, churn, dead senders)").inc()
                 return None
             raise NetworkError(f"unknown sender {src!r}")
         size = size_bytes if size_bytes is not None else _default_size(payload)
@@ -163,12 +168,31 @@ class Network:
             payload=payload, size_bytes=size, sent_at=self.simulator.now)
         self.stats.messages += 1
         self.stats.bytes += size
+        if OBS.enabled:
+            registry = OBS.registry
+            registry.counter("cyclosa_net_messages_total",
+                             "messages offered to the network").inc()
+            registry.counter("cyclosa_net_bytes_total",
+                             "payload bytes offered to the network").inc(size)
         if self.loss_probability and self.rng.random() < self.loss_probability:
             self.stats.dropped += 1
+            if OBS.enabled:
+                OBS.registry.counter(
+                    "cyclosa_net_dropped_total",
+                    "messages lost (loss, churn, dead senders)").inc()
             return None
         delay = self._latency_for(src, dst).sample(self.rng)
         if self.bandwidth_bytes_per_s:
             delay += size / self.bandwidth_bytes_per_s
+        if OBS.enabled:
+            # Per-hop send span: its width is the sampled flight time,
+            # stamped up front (the simulator realises it later).
+            span = OBS.tracer.start_span("net.send", attributes={
+                "src": src, "dst": dst, "kind": kind, "bytes": size})
+            OBS.tracer.end_span(span, end_time=span.start + delay)
+            OBS.registry.counter(
+                "cyclosa_net_flight_seconds_total",
+                "cumulative one-way flight time of delivered sends").inc(delay)
         self.simulator.schedule(delay, lambda: self._deliver(message))
         return message
 
@@ -176,7 +200,18 @@ class Network:
         node = self._nodes.get(message.dst)
         if node is None:  # destination churned out mid-flight
             self.stats.dropped += 1
+            if OBS.enabled:
+                OBS.registry.counter(
+                    "cyclosa_net_dropped_total",
+                    "messages lost (loss, churn, dead senders)").inc()
             return
+        if OBS.enabled:
+            span = OBS.tracer.start_span("net.recv", attributes={
+                "dst": message.dst, "kind": message.kind,
+                "bytes": message.size_bytes})
+            OBS.tracer.end_span(span)
+            OBS.registry.counter("cyclosa_net_delivered_total",
+                                 "messages delivered to a live node").inc()
         node.on_message(message)
 
 

@@ -1,0 +1,130 @@
+"""Per-stage latency breakdown of a protected search.
+
+The CYCLOSA client pipeline emits six stage spans per query (§IV
+steps, in order)::
+
+    sensitivity → adaptive_k → fake_generation → fanout → engine
+    → response_filtering
+
+``stage_breakdown`` folds the spans of one trace into one row per
+stage (a stage can occur more than once — e.g. a retried ``engine``
+leg after a relay timeout — so rows carry a count and summed
+duration); ``format_breakdown`` renders the table ``repro search
+--trace`` prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs.trace import Span
+
+#: Canonical pipeline order; extra span names sort after these, by
+#: first start time.
+PIPELINE_STAGES = (
+    "sensitivity",
+    "adaptive_k",
+    "fake_generation",
+    "fanout",
+    "engine",
+    "response_filtering",
+)
+
+ROOT_SPAN = "search"
+
+
+@dataclass
+class StageTiming:
+    """Aggregate of every span sharing one stage name in a trace."""
+
+    stage: str
+    start: float
+    duration: float
+    count: int = 1
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+
+def stage_breakdown(spans: Iterable[Span],
+                    trace_id: Optional[str] = None) -> List[StageTiming]:
+    """One :class:`StageTiming` per stage name, in pipeline order.
+
+    Considers only finished, non-root spans of *trace_id* (or of all
+    traces when ``None`` — useful for aggregating a whole run).
+    """
+    rows: Dict[str, StageTiming] = {}
+    for span in spans:
+        if trace_id is not None and span.trace_id != trace_id:
+            continue
+        if span.name == ROOT_SPAN or not span.finished:
+            continue
+        row = rows.get(span.name)
+        if row is None:
+            rows[span.name] = StageTiming(
+                stage=span.name, start=span.start, duration=span.duration,
+                attributes=dict(span.attributes))
+        else:
+            row.start = min(row.start, span.start)
+            row.duration += span.duration
+            row.count += 1
+            row.attributes.update(span.attributes)
+
+    def order(row: StageTiming):
+        try:
+            return (0, PIPELINE_STAGES.index(row.stage))
+        except ValueError:
+            return (1, row.start)
+
+    return sorted(rows.values(), key=order)
+
+
+def root_span(spans: Iterable[Span],
+              trace_id: Optional[str] = None) -> Optional[Span]:
+    """The finished ``search`` root of *trace_id*, if present."""
+    for span in spans:
+        if span.name != ROOT_SPAN or not span.finished:
+            continue
+        if trace_id is None or span.trace_id == trace_id:
+            return span
+    return None
+
+
+def _attr_notes(attributes: Dict[str, Any]) -> str:
+    keep = []
+    for key in ("k", "semantic_sensitive", "linkability", "records",
+                "relay", "status", "timeout"):
+        if key in attributes:
+            value = attributes[key]
+            if isinstance(value, float):
+                value = f"{value:.3f}"
+            keep.append(f"{key}={value}")
+    return " ".join(keep)
+
+
+def format_breakdown(rows: List[StageTiming],
+                     total: Optional[float] = None,
+                     t0: Optional[float] = None) -> str:
+    """Render the stage table.
+
+    *total* is the end-to-end latency (the root span's duration) used
+    for the percentage column; *t0* anchors the relative start column
+    (defaults to the earliest stage start).
+    """
+    if not rows:
+        return "(no stage spans recorded — was observability enabled?)"
+    if t0 is None:
+        t0 = min(row.start for row in rows)
+    if total is None or total <= 0:
+        total = sum(row.duration for row in rows) or 1.0
+    header = (f"{'stage':<20} {'start':>10} {'duration':>12} "
+              f"{'share':>7}  notes")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        share = 100.0 * row.duration / total if total else 0.0
+        name = row.stage if row.count == 1 else f"{row.stage} (x{row.count})"
+        lines.append(
+            f"{name:<20} {row.start - t0:>9.3f}s {row.duration * 1000:>10.3f}ms "
+            f"{share:>6.1f}%  {_attr_notes(row.attributes)}")
+    lines.append(f"{'end-to-end':<20} {'':>10} {total * 1000:>10.3f}ms "
+                 f"{100.0:>6.1f}%")
+    return "\n".join(lines)

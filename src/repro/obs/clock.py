@@ -1,0 +1,75 @@
+"""Clock abstraction: one ``now()`` for both execution modes.
+
+Every latency figure in the repository is measured in *simulated*
+seconds (the discrete-event loop), but the observability layer must
+also work when instrumented code runs outside a simulation (unit
+tests, the overhead micro-benchmark, future real deployments). A
+:class:`Clock` hides the difference:
+
+- :class:`SimulatedClock` reads ``Simulator.now`` — span timestamps
+  line up exactly with the event loop, so traces of a simulated run
+  are bit-for-bit deterministic given a seed.
+- :class:`WallClock` reads :func:`time.perf_counter` — monotonic
+  wall-clock time for code running outside any simulator.
+
+The tracer and registry never call ``time.time()`` directly; they only
+ever see a :class:`Clock`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Anything with a ``now() -> float`` in seconds."""
+
+    def now(self) -> float:  # pragma: no cover - protocol signature
+        ...
+
+
+class WallClock:
+    """Monotonic wall-clock time (``time.perf_counter``)."""
+
+    __slots__ = ()
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class SimulatedClock:
+    """Reads the discrete-event simulator's clock.
+
+    Duck-typed on purpose: anything exposing a ``now`` attribute or
+    property (``repro.net.simulator.Simulator`` does) works, which
+    keeps ``repro.obs`` free of dependencies on the network layer.
+    """
+
+    __slots__ = ("_source",)
+
+    def __init__(self, source) -> None:
+        if not hasattr(source, "now"):
+            raise TypeError("simulated clock source must expose `.now`")
+        self._source = source
+
+    def now(self) -> float:
+        return self._source.now
+
+
+class ManualClock:
+    """A hand-advanced clock for deterministic unit tests."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot advance a clock backwards")
+        self._now += seconds

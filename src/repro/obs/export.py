@@ -1,0 +1,127 @@
+"""Exporters: JSON-lines trace dumps and Prometheus text snapshots.
+
+Both formats are meant for machines first:
+
+- ``trace_to_jsonl`` writes one JSON object per finished span;
+  ``parse_trace_jsonl`` reads them back into :class:`Span` objects, so
+  a dumped trace can be re-analysed (or diffed across runs) without the
+  process that produced it.
+- ``prometheus_snapshot`` renders every instrument of a
+  :class:`MetricsRegistry` in the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` plus samples; histograms expand to
+  cumulative ``_bucket{le=...}`` series with ``_sum`` and ``_count``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Iterable, List, Optional
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import Span
+
+# -- traces ------------------------------------------------------------
+
+
+def span_to_dict(span: Span) -> dict:
+    return {
+        "name": span.name,
+        "trace_id": span.trace_id,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "start": span.start,
+        "end": span.end,
+        "attributes": span.attributes,
+    }
+
+
+def trace_to_jsonl(spans: Iterable[Span]) -> str:
+    """One JSON object per span, newline-delimited."""
+    return "\n".join(
+        json.dumps(span_to_dict(span), sort_keys=True) for span in spans)
+
+
+def parse_trace_jsonl(text: str) -> List[Span]:
+    """Inverse of :func:`trace_to_jsonl`."""
+    spans: List[Span] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        spans.append(Span(
+            name=record["name"],
+            trace_id=record["trace_id"],
+            span_id=record["span_id"],
+            parent_id=record.get("parent_id"),
+            start=record["start"],
+            end=record.get("end"),
+            attributes=record.get("attributes") or {}))
+    return spans
+
+
+# -- metrics -----------------------------------------------------------
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels_text(labels, extra: Optional[dict] = None) -> str:
+    pairs = [f'{key}="{_escape(str(value))}"' for key, value in labels]
+    if extra:
+        pairs += [f'{key}="{_escape(str(value))}"'
+                  for key, value in extra.items()]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_snapshot(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: List[str] = []
+    emitted_header = set()
+    for metric in registry.collect():
+        if metric.name not in emitted_header:
+            emitted_header.add(metric.name)
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            lines.append(f"{metric.name}{_labels_text(metric.labels)} "
+                         f"{_format_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            for bound, count in metric.bucket_counts():
+                le = "+Inf" if bound == math.inf else _format_value(bound)
+                lines.append(
+                    f"{metric.name}_bucket"
+                    f"{_labels_text(metric.labels, {'le': le})} {count}")
+            lines.append(f"{metric.name}_sum{_labels_text(metric.labels)} "
+                         f"{repr(float(metric.sum))}")
+            lines.append(f"{metric.name}_count{_labels_text(metric.labels)} "
+                         f"{metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse a snapshot back into ``{sample_name{labels}: value}``.
+
+    A convenience for round-trip tests and quick assertions — not a
+    full exposition-format parser (no exemplars, no timestamps).
+    """
+    samples: dict = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        key, _, raw = line.rpartition(" ")
+        value = math.inf if raw == "+Inf" else float(raw)
+        samples[key] = value
+    return samples

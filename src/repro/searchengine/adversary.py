@@ -14,8 +14,11 @@ only in what ends up in this log.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Deque, List, Optional
+
+from repro.obs import OBS
 
 
 @dataclass(frozen=True)
@@ -33,20 +36,41 @@ class LoggedQuery:
 
 
 class QueryLogTap:
-    """Accumulates the engine's view of incoming traffic."""
+    """Accumulates the engine's view of incoming traffic.
 
-    def __init__(self) -> None:
-        self._log: List[LoggedQuery] = []
+    The log is a ring buffer: with *capacity* set, only the most
+    recent observations are retained — a real honest-but-curious
+    engine has bounded storage too, and long simulated runs must not
+    grow memory without limit. Evictions are counted in
+    :attr:`dropped` (and, when observability is enabled, in the
+    ``cyclosa_engine_log_dropped_total`` counter).
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("log capacity must be >= 1 (or None)")
+        self.capacity = capacity
+        self._log: Deque[LoggedQuery] = deque(maxlen=capacity)
+        #: Observations evicted from the ring so far.
+        self.dropped = 0
 
     def record(self, identity: str, text: str, timestamp: float,
                true_user: Optional[str] = None, is_fake: bool = False,
                group_id: Optional[int] = None) -> None:
+        if self.capacity is not None and len(self._log) >= self.capacity:
+            self.dropped += 1
+            if OBS.enabled:
+                OBS.registry.counter(
+                    "cyclosa_engine_log_dropped_total",
+                    "engine-log observations evicted by the ring buffer"
+                ).inc()
         self._log.append(LoggedQuery(
             identity=identity, text=text, timestamp=timestamp,
             true_user=true_user, is_fake=is_fake, group_id=group_id))
 
     @property
     def entries(self) -> List[LoggedQuery]:
+        """The retained observations, oldest first (a copy)."""
         return list(self._log)
 
     def __len__(self) -> int:

@@ -33,6 +33,7 @@ from repro.crypto.keys import IdentityKeyPair
 from repro.net.latency import LatencyModel, LogNormalLatency
 from repro.net.transport import Network, NetNode, RequestContext
 from repro.net.tls import SecureChannelManager, SignatureAuthenticator
+from repro.obs import OBS
 from repro.searchengine.adversary import QueryLogTap
 from repro.searchengine.engine import SearchEngine
 from repro.searchengine.ratelimit import RateLimiter, RateLimitVerdict
@@ -46,13 +47,14 @@ class SearchEngineNode(NetNode):
     def __init__(self, network: Network, engine: SearchEngine, rng,
                  address: str = "engine",
                  processing: Optional[LatencyModel] = None,
-                 rate_limiter: Optional[RateLimiter] = None) -> None:
+                 rate_limiter: Optional[RateLimiter] = None,
+                 log_capacity: Optional[int] = None) -> None:
         super().__init__(network, address)
         self.engine = engine
         self.rng = rng
         self.processing = processing or DEFAULT_PROCESSING
         self.rate_limiter = rate_limiter
-        self.tap = QueryLogTap()
+        self.tap = QueryLogTap(capacity=log_capacity)
         self.identity = IdentityKeyPair.generate(bits=512, rng=rng)
         self.tls = SecureChannelManager(
             self, SignatureAuthenticator(self.identity), rng)
@@ -102,6 +104,9 @@ class SearchEngineNode(NetNode):
             true_user=meta.get("true_user"),
             is_fake=bool(meta.get("is_fake", False)),
             group_id=meta.get("group_id"))
+        if OBS.enabled:
+            OBS.registry.counter("cyclosa_engine_queries_total",
+                                 "queries served by the engine").inc()
         hits = self.engine.search(query)
         response = {
             "status": "ok",
@@ -115,8 +120,16 @@ class SearchEngineNode(NetNode):
                 for hit in hits
             ],
         }
-        self._respond_after_delay(
-            ctx, response, sealed_for, delay=self.processing.sample(self.rng))
+        delay = self.processing.sample(self.rng)
+        if OBS.enabled:
+            OBS.registry.histogram(
+                "cyclosa_engine_processing_seconds",
+                "engine-side processing latency per answered query"
+            ).observe(delay)
+            span = OBS.tracer.start_span("engine_processing", attributes={
+                "identity": identity})
+            OBS.tracer.end_span(span, end_time=span.start + delay)
+        self._respond_after_delay(ctx, response, sealed_for, delay=delay)
 
     def _respond_after_delay(self, ctx: RequestContext, response: Dict[str, Any],
                              sealed_for, delay: float) -> None:

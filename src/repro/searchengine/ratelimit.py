@@ -21,6 +21,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict
 
+from repro.obs import OBS
+
 
 class RateLimitVerdict(enum.Enum):
     """Outcome of one admission check."""
@@ -76,14 +78,30 @@ class RateLimiter:
             state.blocked_until = max(state.blocked_until,
                                       now + self.captcha_cooldown)
             state.rejected += 1
+            self._count_verdict(blocked=True)
             return RateLimitVerdict.CAPTCHA
         if len(window) >= self.max_per_window:
             state.blocked_until = now + self.captcha_cooldown
             state.rejected += 1
+            self._count_verdict(blocked=True)
             return RateLimitVerdict.CAPTCHA
         window.append(now)
         state.admitted += 1
+        self._count_verdict(blocked=False)
         return RateLimitVerdict.ADMITTED
+
+    @staticmethod
+    def _count_verdict(blocked: bool) -> None:
+        if not OBS.enabled:
+            return
+        if blocked:
+            OBS.registry.counter(
+                "cyclosa_engine_ratelimit_captcha_total",
+                "requests rejected by the engine's bot protection").inc()
+        else:
+            OBS.registry.counter(
+                "cyclosa_engine_ratelimit_admitted_total",
+                "requests admitted by the engine's bot protection").inc()
 
     def admitted(self, identity: str) -> int:
         state = self._states.get(identity)

@@ -25,6 +25,7 @@ from typing import Any, Callable, Dict, Optional
 
 from repro.crypto.hashes import hkdf, hmac_sha256, sha256
 from repro.crypto.keys import IdentityKeyPair
+from repro.obs import OBS
 from repro.sgx.epc import EnclavePageCache
 from repro.sgx.errors import EnclaveError, EnclaveIsolationError
 
@@ -40,6 +41,11 @@ CROSSING_COST = 3e-6
 CRYPTO_OP_COST = 2e-6
 CRYPTO_COST_PER_BYTE = 3e-9
 
+#: Buckets for the CostMeter charge histogram: individual charges run
+#: from a single crossing (µs) to paged-EPC bulk traffic (ms).
+METER_CHARGE_BUCKETS = (1e-7, 1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4,
+                        1e-3, 1e-2, 1e-1)
+
 _ECALL_MARK = "_repro_sgx_ecall"
 
 
@@ -52,9 +58,24 @@ def ecall(fn: Callable) -> Callable:
     access cost proportional to the enclave's declared working set.
     """
 
+    gate_name = fn.__name__
+
     @functools.wraps(fn)
     def wrapper(self: "Enclave", *args: Any, **kwargs: Any) -> Any:
         self._check_alive()
+        if OBS.enabled:
+            registry = OBS.registry
+            registry.counter(
+                "cyclosa_sgx_ecalls_total",
+                "ecall entries through the call gate",
+                gate=gate_name).inc()
+            registry.counter(
+                "cyclosa_sgx_crossings_total",
+                "gate crossings (ecall enter/exit, ocall exit/re-enter)").inc(2)
+            registry.counter(
+                "cyclosa_sgx_crossing_seconds_total",
+                "simulated seconds spent crossing the call gate").inc(
+                    2 * CROSSING_COST)
         self._host.meter.charge(2 * CROSSING_COST)
         self._host.meter.charge(
             self._host.epc.access_cost(self._touched_bytes_per_call))
@@ -82,6 +103,11 @@ class CostMeter:
     def charge(self, seconds: float) -> None:
         if seconds < 0:
             raise ValueError("cannot charge negative cost")
+        if OBS.enabled:
+            OBS.registry.histogram(
+                "cyclosa_sgx_meter_charge_seconds",
+                "per-charge SGX overhead (crossings, EPC traffic, crypto)",
+                buckets=METER_CHARGE_BUCKETS).observe(seconds)
         self.total += seconds
         self._unclaimed += seconds
 
@@ -182,6 +208,19 @@ class Enclave:
         if self._depth == 0:
             raise EnclaveError("ocall outside of trusted execution")
         handler = self._host.ocall_handler(name)
+        if OBS.enabled:
+            registry = OBS.registry
+            registry.counter(
+                "cyclosa_sgx_ocalls_total",
+                "ocalls from trusted code to untrusted services",
+                service=name).inc()
+            registry.counter(
+                "cyclosa_sgx_crossings_total",
+                "gate crossings (ecall enter/exit, ocall exit/re-enter)").inc(2)
+            registry.counter(
+                "cyclosa_sgx_crossing_seconds_total",
+                "simulated seconds spent crossing the call gate").inc(
+                    2 * CROSSING_COST)
         self._host.meter.charge(2 * CROSSING_COST)
         self._depth -= 1  # untrusted code must not see trusted state
         try:

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+from repro.obs import OBS
 from repro.sgx.errors import SgxError
 
 PAGE_SIZE = 4096
@@ -63,6 +64,12 @@ class EnclavePageCache:
 
     capacity_bytes: int = DEFAULT_EPC_BYTES
     _regions: Dict[int, EpcRegion] = field(default_factory=dict)
+    #: Expected page faults served so far (fractional: past the cliff,
+    #: each access faults on the overflow fraction of its pages).
+    faults: float = 0.0
+    #: Pages pushed out of the EPC by over-commit (EWB analogue),
+    #: counted when an allocation grows the overflow.
+    evictions: int = 0
 
     @property
     def capacity_pages(self) -> int:
@@ -98,7 +105,17 @@ class EnclavePageCache:
         region = self._regions.get(enclave_id)
         if region is None:
             raise EpcError(f"enclave {enclave_id} not registered")
+        overflow_before = max(0, self.committed_pages - self.capacity_pages)
         region.pages += -(-nbytes // PAGE_SIZE)
+        overflow_after = max(0, self.committed_pages - self.capacity_pages)
+        if overflow_after > overflow_before:
+            evicted = overflow_after - overflow_before
+            self.evictions += evicted
+            if OBS.enabled:
+                OBS.registry.counter(
+                    "cyclosa_sgx_epc_evictions_total",
+                    "EPC pages evicted to untrusted RAM (EWB analogue)"
+                ).inc(evicted)
 
     def free(self, enclave_id: int, nbytes: int) -> None:
         """Return *nbytes* worth of pages from an enclave."""
@@ -136,5 +153,23 @@ class EnclavePageCache:
         """
         pages = max(1, -(-touched_bytes // PAGE_SIZE))
         ratio = self.paging_ratio()
+        if OBS.enabled:
+            # Register the fault counter even at zero faults: a
+            # snapshot of a healthy run must *show* the no-paging
+            # claim, not merely omit the metric.
+            fault_counter = OBS.registry.counter(
+                "cyclosa_sgx_epc_faults_total",
+                "expected EPC page faults served (fractional past the "
+                "paging cliff)")
+            OBS.registry.gauge(
+                "cyclosa_sgx_epc_committed_pages",
+                "pages committed across all enclaves").set(
+                    self.committed_pages)
+            if ratio > 0.0:
+                expected_faults = pages * ratio
+                self.faults += expected_faults
+                fault_counter.inc(expected_faults)
+        elif ratio > 0.0:
+            self.faults += pages * ratio
         per_page = (1.0 - ratio) * RESIDENT_ACCESS_COST + ratio * PAGED_ACCESS_COST
         return pages * per_page

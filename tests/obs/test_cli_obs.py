@@ -1,0 +1,64 @@
+"""CLI smoke tests: ``repro obs`` and ``repro search --trace``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import cli, obs
+
+pytestmark = pytest.mark.obs
+
+
+def test_obs_help_exits_zero(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        cli.main(["obs", "--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert "--format" in out
+
+
+def test_obs_table_output(capsys):
+    rc = cli.main(["obs", "test query", "--nodes", "8", "--seed", "3"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    for stage in ("sensitivity", "adaptive_k", "fake_generation",
+                  "fanout", "engine", "response_filtering"):
+        assert stage in out
+
+
+def test_obs_jsonl_output(capsys):
+    rc = cli.main(["obs", "test query", "--nodes", "8", "--seed", "3",
+                   "--format", "jsonl"])
+    assert rc == 0
+    lines = [line for line in capsys.readouterr().out.splitlines() if line]
+    names = {json.loads(line)["name"] for line in lines}
+    assert "search" in names and "engine" in names
+
+
+def test_obs_prom_output(capsys):
+    rc = cli.main(["obs", "test query", "--nodes", "8", "--seed", "3",
+                   "--format", "prom"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "cyclosa_sgx_ecalls_total" in out
+    assert "cyclosa_sgx_epc_faults_total" in out
+
+
+def test_search_trace_prints_breakdown_and_snapshot(capsys):
+    rc = cli.main(["search", "--trace", "test query",
+                   "--nodes", "8", "--seed", "3"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "pipeline trace" in out
+    assert "response_filtering" in out
+    assert "cyclosa_sgx_crossings_total" in out
+
+
+def test_search_without_trace_leaves_obs_disabled(capsys):
+    obs.disable(reset=True)
+    rc = cli.main(["search", "test query", "--nodes", "8", "--seed", "3"])
+    assert rc == 0
+    assert not obs.is_enabled()
+    assert "pipeline trace" not in capsys.readouterr().out

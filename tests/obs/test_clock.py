@@ -1,0 +1,49 @@
+"""Clock abstraction: simulated, wall and manual time agree on the API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.simulator import Simulator
+from repro.obs.clock import Clock, ManualClock, SimulatedClock, WallClock
+
+pytestmark = pytest.mark.obs
+
+
+def test_wall_clock_is_monotonic():
+    clock = WallClock()
+    a = clock.now()
+    b = clock.now()
+    assert b >= a
+
+
+def test_manual_clock_advances():
+    clock = ManualClock(start=5.0)
+    assert clock.now() == 5.0
+    clock.advance(2.5)
+    assert clock.now() == 7.5
+    with pytest.raises(ValueError):
+        clock.advance(-1.0)
+
+
+def test_simulated_clock_tracks_simulator():
+    simulator = Simulator()
+    clock = SimulatedClock(simulator)
+    assert clock.now() == 0.0
+    simulator.schedule(3.0, lambda: None)
+    simulator.run()
+    assert clock.now() == simulator.now == 3.0
+
+
+def test_simulated_clock_duck_types_on_now():
+    class Fake:
+        now = 42.0
+
+    assert SimulatedClock(Fake()).now() == 42.0
+    with pytest.raises(TypeError):
+        SimulatedClock(object())
+
+
+def test_all_clocks_satisfy_protocol():
+    for clock in (WallClock(), ManualClock(), SimulatedClock(Simulator())):
+        assert isinstance(clock, Clock)

@@ -1,0 +1,96 @@
+"""Exporter round-trips: JSON-lines traces and Prometheus snapshots."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs.clock import ManualClock
+from repro.obs.export import (parse_prometheus, parse_trace_jsonl,
+                              prometheus_snapshot, span_to_dict,
+                              trace_to_jsonl)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, TraceSink
+
+pytestmark = pytest.mark.obs
+
+
+def _sample_spans():
+    clock = ManualClock()
+    tracer = Tracer(clock=clock, sink=TraceSink())
+    root = tracer.start_span("search", attributes={"k": 3})
+    clock.advance(0.25)
+    child = tracer.start_span("engine", parent=root)
+    clock.advance(0.5)
+    tracer.end_span(child)
+    tracer.end_span(root)
+    return tracer.sink.spans
+
+
+def test_trace_jsonl_round_trip():
+    spans = _sample_spans()
+    text = trace_to_jsonl(spans)
+    assert len(text.splitlines()) == len(spans)
+    for line in text.splitlines():
+        json.loads(line)  # every line is standalone JSON
+    parsed = parse_trace_jsonl(text)
+    assert [span_to_dict(s) for s in parsed] == \
+        [span_to_dict(s) for s in spans]
+    assert parsed[1].attributes == {"k": 3}
+    assert parsed[0].parent_id == parsed[1].span_id
+
+
+def test_parse_trace_jsonl_skips_blank_lines():
+    text = trace_to_jsonl(_sample_spans())
+    assert len(parse_trace_jsonl("\n" + text + "\n\n")) == 2
+
+
+def test_prometheus_snapshot_counters_and_gauges():
+    registry = MetricsRegistry()
+    registry.counter("cyclosa_q_total", "queries", mode="real").inc(3)
+    registry.gauge("cyclosa_pages", "committed pages").set(17)
+    text = prometheus_snapshot(registry)
+    assert "# HELP cyclosa_q_total queries" in text
+    assert "# TYPE cyclosa_q_total counter" in text
+    assert 'cyclosa_q_total{mode="real"} 3' in text
+    assert "# TYPE cyclosa_pages gauge" in text
+    assert "cyclosa_pages 17" in text
+
+
+def test_prometheus_snapshot_histogram_shape():
+    registry = MetricsRegistry()
+    hist = registry.histogram("cyclosa_lat_seconds", "latency",
+                              buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 5.0):
+        hist.observe(value)
+    samples = parse_prometheus(prometheus_snapshot(registry))
+    assert samples['cyclosa_lat_seconds_bucket{le="0.1"}'] == 1
+    assert samples['cyclosa_lat_seconds_bucket{le="1"}'] == 2
+    assert samples['cyclosa_lat_seconds_bucket{le="+Inf"}'] == 3
+    assert samples["cyclosa_lat_seconds_count"] == 3
+    assert samples["cyclosa_lat_seconds_sum"] == pytest.approx(5.55)
+
+
+def test_prometheus_header_emitted_once_per_family():
+    registry = MetricsRegistry()
+    registry.counter("cyclosa_r_total", "rounds", mode="push").inc()
+    registry.counter("cyclosa_r_total", "rounds", mode="push_pull").inc()
+    text = prometheus_snapshot(registry)
+    assert text.count("# TYPE cyclosa_r_total counter") == 1
+    assert text.count("cyclosa_r_total{") == 2
+
+
+def test_prometheus_escapes_label_values():
+    registry = MetricsRegistry()
+    registry.counter("cyclosa_e_total", gate='we"ird\\name').inc()
+    text = prometheus_snapshot(registry)
+    assert 'gate="we\\"ird\\\\name"' in text
+
+
+def test_empty_registry_snapshot_is_empty():
+    assert prometheus_snapshot(MetricsRegistry()) == ""
+    assert parse_prometheus("") == {}
+    assert math.isinf(parse_prometheus('x_bucket{le="+Inf"} +Inf'
+                                       )['x_bucket{le="+Inf"}'])
