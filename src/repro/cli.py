@@ -10,6 +10,9 @@ Commands:
 - ``obs [query]``               — run a traced search and dump the
   observability output (breakdown table, trace JSON-lines, or a
   Prometheus metrics snapshot).
+- ``perf``                      — run the pipeline perf benches and
+  write the ``BENCH_pipeline.json`` trajectory baseline (see
+  ``docs/performance.md``).
 
 Examples::
 
@@ -18,6 +21,7 @@ Examples::
     python -m repro search "flu symptoms treatment"
     python -m repro search --trace "flu symptoms treatment"
     python -m repro obs --format prom
+    python -m repro perf --output BENCH_pipeline.json
 """
 
 from __future__ import annotations
@@ -125,6 +129,8 @@ def _print_trace_report(trace_id: Optional[str]) -> None:
                                      stage_breakdown)
     from repro.obs.export import prometheus_snapshot
 
+    from repro.text.cache import install_metrics
+
     tracer = obs.get_tracer()
     spans = tracer.sink.spans if tracer is not None else []
     rows = stage_breakdown(spans, trace_id=trace_id)
@@ -134,6 +140,7 @@ def _print_trace_report(trace_id: Optional[str]) -> None:
     t0 = root.start if root is not None else None
     print(format_breakdown(rows, total=total, t0=t0))
     print("\nmetrics snapshot:")
+    install_metrics(obs.get_registry())  # text-cache gauges in the dump
     print(prometheus_snapshot(obs.get_registry()))
 
 
@@ -156,6 +163,9 @@ def _cmd_obs(query: str, num_nodes: int, seed: int, fmt: str) -> int:
             spans = tracer.sink.for_trace(result.trace_id)
         print(trace_to_jsonl(spans))
     elif fmt == "prom":
+        from repro.text.cache import install_metrics
+
+        install_metrics(obs.get_registry())
         print(prometheus_snapshot(obs.get_registry()), end="")
     else:  # table
         print(f"query  : {query!r}  (status {result.status}, "
@@ -166,6 +176,25 @@ def _cmd_obs(query: str, num_nodes: int, seed: int, fmt: str) -> int:
         t0 = root.start if root is not None else None
         print(format_breakdown(rows, total=total, t0=t0))
     return 0 if result.ok else 1
+
+
+def _cmd_perf(args) -> int:
+    """Run the pipeline perf benches; write the trajectory baseline."""
+    from repro import perf
+
+    results = perf.run_all(
+        history_size=args.history, probes=args.probes,
+        num_events=args.events, num_nodes=args.nodes,
+        searches=args.searches, seed=args.seed)
+    print(perf.format_report(results))
+    if not args.no_write:
+        perf.write_baseline(results, args.output)
+        print(f"\nwrote {args.output}")
+    if not results["sensitivity"]["scores_bit_identical"]:
+        print("ERROR: indexed linkability diverged from the linear scan",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -204,6 +233,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="table = per-stage breakdown, jsonl = trace dump, "
              "prom = Prometheus text snapshot")
 
+    perf_parser = subparsers.add_parser(
+        "perf", help="run the pipeline perf benches and write the "
+                     "BENCH_pipeline.json trajectory baseline")
+    perf_parser.add_argument("--history", type=int, default=None,
+                             help="linkability history size (default 10000)")
+    perf_parser.add_argument("--probes", type=int, default=None,
+                             help="probe queries per pass (default 200)")
+    perf_parser.add_argument("--events", type=int, default=None,
+                             help="simulator events (default 200000)")
+    perf_parser.add_argument("--nodes", type=int, default=None,
+                             help="overlay size (default 16)")
+    perf_parser.add_argument("--searches", type=int, default=None,
+                             help="end-to-end searches (default 25)")
+    perf_parser.add_argument("--seed", type=int, default=None)
+    perf_parser.add_argument("--output", default="BENCH_pipeline.json",
+                             help="baseline path (default ./BENCH_pipeline.json)")
+    perf_parser.add_argument("--no-write", action="store_true",
+                             help="print the report without writing the file")
+
     return parser
 
 
@@ -221,6 +269,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                            trace=args.trace)
     if args.command == "obs":
         return _cmd_obs(args.query, args.nodes, args.seed, args.format)
+    if args.command == "perf":
+        return _cmd_perf(args)
     parser.print_help()
     return 0
 

@@ -26,16 +26,26 @@ because they only touch the local user's own data (§IV):
   query's binary term vector against each of the user's past queries,
   ranked ascending and exponentially smoothed, so the aggregate is
   dominated by the closest matches.
+
+The linkability assessor keeps an incremental inverted index
+(term → history entries containing it), the same structure the
+SimAttack adversary builds over whole profile corpora
+(:mod:`repro.attacks.simattack`): scoring touches only the history
+entries that share a term with the query — the only entries with a
+non-zero cosine — instead of scanning the full history, while
+returning bit-identical scores (see :meth:`LinkabilityAssessor.score`
+and the reference :meth:`LinkabilityAssessor.score_linear`).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.text.smoothing import smoothed_similarity
+from repro.text.smoothing import exponential_smoothing, smoothed_similarity
 from repro.text.stem import porter_stem
-from repro.text.tokenize import tokenize
+from repro.text.tokenize import stemmed_terms, tokenize
 from repro.text.vectorize import cosine_binary, query_vector
 
 
@@ -66,9 +76,13 @@ class SemanticAssessor:
                  lda_terms: Iterable[str] = (),
                  lda_core_terms: Iterable[str] = (),
                  mode: str = "combined",
-                 wordnet_min_hits: int = 2,
+                 wordnet_min_hits: int = 1,
                  stem_dictionaries: bool = True,
                  exclude_terms: Optional[Iterable[str]] = None) -> None:
+        # wordnet_min_hits: dictionary hits required to flag a query in
+        # "wordnet" mode. The default is 1 — the paper's single-hit
+        # tagging rule, and the behaviour every existing caller
+        # observed while the threshold was stored but never consulted.
         if mode not in self.MODES:
             raise ValueError(f"mode must be one of {self.MODES}")
         self.mode = mode
@@ -93,7 +107,7 @@ class SemanticAssessor:
                        mode: str = "combined",
                        lda_topn: int = 90,
                        lda_topn_core: int = 50,
-                       wordnet_min_hits: int = 2) -> "SemanticAssessor":
+                       wordnet_min_hits: int = 1) -> "SemanticAssessor":
         """Build dictionaries from the lexical resources (§V-F).
 
         *lda_topn* sizes the broad LDA dictionary; *lda_topn_core* the
@@ -116,11 +130,12 @@ class SemanticAssessor:
                    lda_core_terms=lda_core_terms,
                    mode=mode, wordnet_min_hits=wordnet_min_hits)
 
-    def _query_terms(self, query: str) -> List[str]:
-        tokens = tokenize(query)
+    def _query_terms(self, query: str) -> Sequence[str]:
         if self._stem:
-            tokens = [porter_stem(token) for token in tokens]
-        return tokens
+            # Memoized tokenise+stem (repro.text.cache): repeated
+            # queries skip the whole text pipeline.
+            return stemmed_terms(query)
+        return tokenize(query)
 
     def is_sensitive(self, query: str) -> bool:
         """Binary semantic assessment of one query."""
@@ -130,7 +145,7 @@ class SemanticAssessor:
         wordnet_hits = sum(1 for term in terms if term in self.wordnet_terms)
         lda_hits = sum(1 for term in terms if term in self.lda_terms)
         if self.mode == "wordnet":
-            return wordnet_hits >= 1
+            return wordnet_hits >= self.wordnet_min_hits
         if self.mode == "lda":
             return lda_hits >= 1
         # combined: corroboration — a high-confidence core LDA term, two
@@ -144,34 +159,139 @@ class SemanticAssessor:
 
 
 class LinkabilityAssessor:
-    """Similarity of a query to the user's own past queries (§V-A2)."""
+    """Similarity of a query to the user's own past queries (§V-A2).
+
+    Backed by an incremental inverted index: :meth:`record` appends the
+    query's terms to per-term postings lists, and :meth:`score` visits
+    only the history entries sharing at least one term with the query.
+    Entries sharing no term have cosine exactly 0.0 and enter the
+    exponentially-smoothed aggregate only through their *count* (they
+    occupy the low end of the ascending ranking), so the indexed score
+    is bit-identical to the O(history) scan it replaces —
+    :meth:`score_linear` keeps that reference implementation for
+    equivalence tests and the perf trajectory.
+
+    Parameters
+    ----------
+    alpha:
+        Exponential-smoothing factor of the ranked aggregate.
+    history:
+        Pre-CYCLOSA queries to preload (every entry counts toward the
+        ranking, even ones that vectorize to nothing — matching the
+        original constructor).
+    max_history:
+        Optional sliding-window bound: once exceeded, the *oldest*
+        entries stop contributing to the score and are dropped from the
+        index (postings are pruned lazily, then compacted). ``None``
+        (the default) keeps the full unbounded history, as the paper
+        assumes.
+    """
 
     def __init__(self, alpha: float = 0.5,
-                 history: Sequence[str] = ()) -> None:
+                 history: Sequence[str] = (),
+                 max_history: Optional[int] = None) -> None:
         if not 0.0 < alpha <= 1.0:
             raise ValueError("alpha must be in (0, 1]")
+        if max_history is not None and max_history < 1:
+            raise ValueError("max_history must be None or >= 1")
         self.alpha = alpha
-        self._history_vectors: List[FrozenSet[str]] = [
-            query_vector(text) for text in history
-        ]
+        self.max_history = max_history
+        #: live history entries: index -> binary term vector.
+        self._vectors: Dict[int, FrozenSet[str]] = {}
+        #: term -> ascending indices of history entries containing it.
+        self._postings: Dict[str, List[int]] = {}
+        self._next_index = 0
+        self._start = 0        # first live index (window eviction)
+        self._dead = 0         # evicted entries still in postings
+        for text in history:
+            self._append(query_vector(text))
 
     def __len__(self) -> int:
-        return len(self._history_vectors)
+        return len(self._vectors)
+
+    def _append(self, vector: FrozenSet[str]) -> None:
+        index = self._next_index
+        self._next_index = index + 1
+        self._vectors[index] = vector
+        postings = self._postings
+        for term in vector:
+            postings.setdefault(term, []).append(index)
+        if self.max_history is not None:
+            while len(self._vectors) > self.max_history:
+                del self._vectors[self._start]
+                self._start += 1
+                self._dead += 1
+            # Postings keep pointing at evicted indices (score skips
+            # them); rebuild once the dead weight rivals the live set.
+            if self._dead > 256 and self._dead >= len(self._vectors):
+                self._compact()
+
+    def _compact(self) -> None:
+        postings: Dict[str, List[int]] = {}
+        for index in sorted(self._vectors):
+            for term in self._vectors[index]:
+                postings.setdefault(term, []).append(index)
+        self._postings = postings
+        self._dead = 0
 
     def record(self, query: str) -> None:
         """Append a query the user actually issued to the local history."""
         vector = query_vector(query)
         if vector:
-            self._history_vectors.append(vector)
+            self._append(vector)
 
     def score(self, query: str) -> float:
         """Linkability in [0, 1]; 0.0 with no history (a fresh profile
-        cannot be linked to anything)."""
+        cannot be linked to anything).
+
+        Index walk instead of history scan: accumulate per-entry term
+        overlaps from the postings of the query's terms, turn them into
+        the non-zero cosines, and smooth. Entries never touched have
+        cosine 0.0; ranked ascending they precede every non-zero value
+        and leave the running smoothed value at exactly 0.0, so only
+        *whether* zeros exist matters — reproduced here by seeding the
+        recurrence with 0.0 whenever fewer entries overlap than exist.
+        """
         vector = query_vector(query)
-        if not vector or not self._history_vectors:
+        total = len(self._vectors)
+        if not vector or not total:
+            return 0.0
+        overlaps: Dict[int, int] = {}
+        start = self._start
+        postings_get = self._postings.get
+        for term in vector:
+            for index in postings_get(term, ()):
+                if index >= start:
+                    overlaps[index] = overlaps.get(index, 0) + 1
+        qlen = len(vector)
+        vectors = self._vectors
+        similarities = [
+            count / math.sqrt(qlen * len(vectors[index]))
+            for index, count in overlaps.items()
+        ]
+        similarities.sort()
+        if len(similarities) < total:
+            # At least one zero-cosine entry ranks first: the smoothing
+            # recurrence reaches the non-zero tail with value 0.0.
+            alpha = self.alpha
+            beta = 1.0 - alpha
+            smoothed = 0.0
+            for value in similarities:
+                smoothed = alpha * value + beta * smoothed
+        else:
+            # No zeros: the smallest non-zero seeds the recurrence.
+            smoothed = exponential_smoothing(similarities, alpha=self.alpha)
+        return min(1.0, max(0.0, smoothed))
+
+    def score_linear(self, query: str) -> float:
+        """The pre-index reference: cosine against *every* live history
+        entry, then :func:`~repro.text.smoothing.smoothed_similarity`.
+        O(history); kept for equivalence tests and the perf benches."""
+        vector = query_vector(query)
+        if not vector or not self._vectors:
             return 0.0
         similarities = (
-            cosine_binary(vector, past) for past in self._history_vectors
+            cosine_binary(vector, past) for past in self._vectors.values()
         )
         return min(1.0, max(0.0, smoothed_similarity(
             similarities, alpha=self.alpha)))

@@ -1,43 +1,50 @@
 """The discrete-event loop.
 
-A minimal, fast scheduler: events are ``(time, seq, callback)`` tuples
+A minimal, fast scheduler: events are ``[time, seq, callback]`` entries
 in a binary heap. ``seq`` is a monotonically increasing counter, so
 events scheduled for the same instant run in FIFO order — this is what
 makes every simulation in the repository bit-for-bit deterministic
 given a seed.
+
+The entries are plain lists, not objects: heap sift compares them with
+C-level list comparison (``time`` first, then the unique ``seq``, so
+the callback slot is never compared), and cancellation follows the
+standard heapq recipe — the handle nulls the entry's callback slot in
+place and the loop skips dead entries as they surface. No per-event
+allocation beyond the list itself, no flag attribute, nothing retained
+after an event is popped.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
-
-@dataclass(order=True)
-class _Event:
-    time: float
-    seq: int
-    callback: Callable[[], Any] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+#: Heap entry layout: [time, seq, callback]; a cancelled entry has its
+#: callback slot set to None (the heapq "mark as removed" recipe).
+_TIME, _SEQ, _CALLBACK = 0, 1, 2
 
 
 class EventHandle:
     """Returned by :meth:`Simulator.schedule`; allows cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_entry",)
 
-    def __init__(self, event: _Event) -> None:
-        self._event = event
+    def __init__(self, entry: list) -> None:
+        self._entry = entry
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if it already ran)."""
-        self._event.cancelled = True
+        self._entry[_CALLBACK] = None
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry[_CALLBACK] is None
 
     @property
     def time(self) -> float:
-        return self._event.time
+        return self._entry[_TIME]
 
 
 class Simulator:
@@ -52,7 +59,7 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: List[_Event] = []
+        self._heap: List[list] = []
         self._seq = itertools.count()
         self._events_processed = 0
 
@@ -75,24 +82,30 @@ class Simulator:
         """Run *callback* after *delay* simulated seconds."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        event = _Event(time=self._now + delay, seq=next(self._seq),
-                       callback=callback)
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        entry = [self._now + delay, next(self._seq), callback]
+        heapq.heappush(self._heap, entry)
+        return EventHandle(entry)
 
     def schedule_at(self, when: float, callback: Callable[[], Any]) -> EventHandle:
         """Run *callback* at absolute simulated time *when*."""
         return self.schedule(when - self._now, callback)
 
     def step(self) -> bool:
-        """Execute the next event. Returns False when the queue is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        """Execute the next event. Returns False when the queue is empty.
+
+        Cancelled entries encountered on the way are discarded without
+        executing anything — a ``True`` return always means exactly one
+        live callback ran.
+        """
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            callback = entry[_CALLBACK]
+            if callback is None:
                 continue
-            self._now = event.time
+            self._now = entry[_TIME]
             self._events_processed += 1
-            event.callback()
+            callback()
             return True
         return False
 
@@ -108,19 +121,29 @@ class Simulator:
         max_events:
             Safety valve for property tests; raises ``RuntimeError`` if
             exceeded, which usually signals an event loop in the model.
+            The budget counts *executed callbacks* only: cancelled
+            entries popped off the heap on the way are free, so the
+            valve bounds real work deterministically regardless of how
+            many scheduled events were later cancelled.
         """
+        heap = self._heap
         executed = 0
-        while self._heap:
-            head = self._heap[0]
-            if head.cancelled:
-                heapq.heappop(self._heap)
+        while heap:
+            entry = heap[0]
+            callback = entry[_CALLBACK]
+            if callback is None:
+                heapq.heappop(heap)
                 continue
-            if until is not None and head.time > until:
+            when = entry[_TIME]
+            if until is not None and when > until:
                 break
             if max_events is not None and executed >= max_events:
                 raise RuntimeError(
                     f"simulation exceeded max_events={max_events}")
-            self.step()
+            heapq.heappop(heap)
+            self._now = when
+            self._events_processed += 1
+            callback()
             executed += 1
         if until is not None and self._now < until:
             self._now = until

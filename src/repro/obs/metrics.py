@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import bisect
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 # NOTE: repro.metrics.latencystats is imported lazily inside
 # Histogram.percentile/summary — importing it at module scope would
@@ -160,10 +160,18 @@ class MetricsRegistry:
     ``counter``/``gauge``/``histogram`` get-or-create, so hot paths can
     look an instrument up on every event. Creating the same name with a
     different kind raises — one name, one meaning.
+
+    Pull-model sources (e.g. the text-pipeline caches of
+    :mod:`repro.text.cache`, whose counters are plain integers with no
+    obs coupling) register a *collector* — a callable invoked with the
+    registry at the start of every :meth:`collect`, so snapshots always
+    reflect the source's current totals without the source paying any
+    hot-path cost.
     """
 
     def __init__(self) -> None:
         self._metrics: Dict[Tuple[str, LabelSet], Metric] = {}
+        self._collectors: List[Callable[["MetricsRegistry"], None]] = []
 
     def _get_or_create(self, cls, name: str, help: str,
                        labels: Dict[str, str], **kwargs) -> Metric:
@@ -196,8 +204,20 @@ class MetricsRegistry:
     def get(self, name: str, **labels: str) -> Optional[Metric]:
         return self._metrics.get((name, _labelset(labels)))
 
+    def register_collector(
+            self, fn: Callable[["MetricsRegistry"], None]) -> None:
+        """Add a pull-time refresh hook (idempotent per callable)."""
+        if fn not in self._collectors:
+            self._collectors.append(fn)
+
     def collect(self) -> List[Metric]:
-        """Every instrument, grouped by family name then labels."""
+        """Every instrument, grouped by family name then labels.
+
+        Registered collectors run first, so gauges backed by external
+        counters (cache stats, pool sizes, ...) are refreshed in the
+        same call that snapshots them."""
+        for fn in list(self._collectors):
+            fn(self)
         return [self._metrics[key]
                 for key in sorted(self._metrics, key=lambda k: (k[0], k[1]))]
 
@@ -209,3 +229,4 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         self._metrics.clear()
+        self._collectors.clear()

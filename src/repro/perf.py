@@ -1,0 +1,351 @@
+"""The perf-trajectory bench harness (``python -m repro perf``).
+
+Measures the three hot paths every future perf PR has to beat, and
+writes the numbers to ``BENCH_pipeline.json`` at the repo root — the
+committed trajectory baseline that ``benchmarks/check_regression.py``
+guards:
+
+- **sensitivity assessments/sec** — the full §V-A pipeline (semantic
+  dictionaries + linkability against a 10 k-query history), cold
+  (text caches empty) and warm (second pass over the same probes),
+  plus the indexed-vs-linear linkability comparison that proves the
+  inverted index both speeds scoring up and changes no score.
+- **simulator events/sec** — the discrete-event loop on a synthetic
+  self-rescheduling workload with a cancellation component.
+- **protected searches/sec** — end-to-end wall-clock throughput of
+  ``CyclosaUser.search`` on a demo overlay, plus the per-stage
+  *simulated* latency breakdown from one traced search
+  (:mod:`repro.obs`), so regressions can be localised to a stage.
+
+Everything is seeded; the only nondeterminism in the output is the
+wall clock itself. Keep workload parameters in the JSON (under
+``meta.params``) so a regression check can re-run the *same* workload.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import random
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+#: Default name of the committed trajectory baseline, at the repo root.
+DEFAULT_BASELINE_NAME = "BENCH_pipeline.json"
+
+#: The (section, key) pairs ``check_regression`` compares —
+#: higher-is-better throughput numbers only.
+THROUGHPUT_KEYS = (
+    ("sensitivity", "cold_assessments_per_sec"),
+    ("sensitivity", "warm_assessments_per_sec"),
+    ("sensitivity", "linkability_indexed_scores_per_sec"),
+    ("simulator", "events_per_sec"),
+    ("search", "searches_per_sec"),
+)
+
+#: Default workload parameters (overridable via CLI flags / kwargs).
+DEFAULT_PARAMS: Dict[str, Any] = {
+    "history_size": 10000,
+    "probes": 200,
+    "linear_probes": 20,
+    "num_events": 200000,
+    "chains": 64,
+    "num_nodes": 16,
+    "searches": 25,
+    "seed": 0,
+    # Best-of-N for the short micro passes: the cold/warm/indexed
+    # windows are milliseconds long, so a single sample is dominated
+    # by scheduler noise. Min-time is the standard stabiliser.
+    "repeats": 5,
+}
+
+
+def workload_queries(count: int, seed: int = 0) -> List[str]:
+    """*count* realistic query strings from the synthetic AOL generator
+    (repetitive within and across users, like the real trace)."""
+    from repro.datasets.aol import generate_aol_log
+
+    texts: List[str] = []
+    log_seed = seed
+    while len(texts) < count:
+        log = generate_aol_log(num_users=max(20, count // 60),
+                               mean_queries_per_user=80.0, seed=log_seed)
+        texts.extend(record.text for record in log.records)
+        log_seed += 1
+    return texts[:count]
+
+
+# -- 1. the §V-A sensitivity pipeline -----------------------------------
+
+
+def bench_sensitivity(history_size: int = 10000, probes: int = 200,
+                      linear_probes: int = 20, seed: int = 0,
+                      repeats: int = 3,
+                      **_ignored: Any) -> Dict[str, Any]:
+    """Assessments/sec cold vs. warm, and indexed-vs-linear linkability.
+
+    The probe passes last milliseconds, so each is sampled *repeats*
+    times and the minimum is reported (best-of-N filters out scheduler
+    noise without changing what is measured).
+    """
+    from repro.core.sensitivity import (LinkabilityAssessor,
+                                        SemanticAssessor,
+                                        SensitivityAnalysis)
+    from repro.text.cache import clear_caches
+    from repro.text.wordnet import SyntheticWordNet
+
+    repeats = max(1, repeats)
+    texts = workload_queries(history_size + probes, seed=seed)
+    history, probe_queries = texts[:history_size], texts[history_size:]
+    semantic = SemanticAssessor.from_resources(
+        wordnet=SyntheticWordNet.build(seed=seed), mode="wordnet")
+
+    clear_caches()
+    begin = time.perf_counter()
+    linkability = LinkabilityAssessor(history=history)
+    index_build_seconds = time.perf_counter() - begin
+    analysis = SensitivityAnalysis(semantic, linkability)
+
+    cold_seconds = float("inf")
+    for _ in range(repeats):
+        clear_caches()
+        begin = time.perf_counter()
+        for query in probe_queries:
+            analysis.assess(query)
+        cold_seconds = min(cold_seconds, time.perf_counter() - begin)
+
+    warm_seconds = float("inf")
+    for _ in range(repeats):
+        begin = time.perf_counter()
+        for query in probe_queries:
+            analysis.assess(query)
+        warm_seconds = min(warm_seconds, time.perf_counter() - begin)
+
+    # Indexed vs. the pre-index linear scan, same probes, and the
+    # scores must agree bit-for-bit.
+    reference = probe_queries[:linear_probes]
+    indexed_seconds = float("inf")
+    for _ in range(repeats):
+        begin = time.perf_counter()
+        indexed_scores = [linkability.score(query) for query in reference]
+        indexed_seconds = min(indexed_seconds, time.perf_counter() - begin)
+    begin = time.perf_counter()
+    linear_scores = [linkability.score_linear(query) for query in reference]
+    linear_seconds = time.perf_counter() - begin
+
+    return {
+        "history_size": history_size,
+        "probes": probes,
+        "index_build_seconds": index_build_seconds,
+        "cold_assessments_per_sec": probes / cold_seconds,
+        "warm_assessments_per_sec": probes / warm_seconds,
+        "linkability_indexed_scores_per_sec":
+            len(reference) / indexed_seconds if indexed_seconds else 0.0,
+        "linkability_linear_scores_per_sec":
+            len(reference) / linear_seconds if linear_seconds else 0.0,
+        "linkability_speedup":
+            linear_seconds / indexed_seconds if indexed_seconds else 0.0,
+        "scores_bit_identical": indexed_scores == linear_scores,
+    }
+
+
+# -- 2. the discrete-event loop -----------------------------------------
+
+
+def bench_simulator(num_events: int = 200000, chains: int = 64,
+                    seed: int = 0, repeats: int = 3,
+                    **_ignored: Any) -> Dict[str, Any]:
+    """Events/sec on self-rescheduling chains with ~10 % cancellations.
+    Best of *repeats* full runs."""
+    from repro.net.simulator import Simulator
+
+    def one_run() -> Dict[str, Any]:
+        simulator = Simulator()
+        rng = random.Random(seed)
+        state = {"remaining": num_events, "cancelled": 0}
+
+        def tick() -> None:
+            if state["remaining"] <= 0:
+                return
+            state["remaining"] -= 1
+            delay = 1e-4 + rng.random() * 1e-3
+            simulator.schedule(delay, tick)
+            if state["remaining"] % 10 == 0:
+                # Exercise the cancellation path: dead entries must be
+                # skipped for free.
+                simulator.schedule(delay * 2.0, tick).cancel()
+                state["cancelled"] += 1
+
+        for _ in range(chains):
+            simulator.schedule(rng.random() * 1e-3, tick)
+
+        begin = time.perf_counter()
+        simulator.run()
+        elapsed = time.perf_counter() - begin
+        return {
+            "events": simulator.events_processed,
+            "cancelled": state["cancelled"],
+            "events_per_sec": simulator.events_processed / elapsed,
+        }
+
+    best = one_run()
+    for _ in range(max(1, repeats) - 1):
+        candidate = one_run()
+        if candidate["events_per_sec"] > best["events_per_sec"]:
+            best = candidate
+    return best
+
+
+# -- 3. end-to-end protected searches -----------------------------------
+
+
+def bench_search(num_nodes: int = 16, searches: int = 25, seed: int = 0,
+                 repeats: int = 3, **_ignored: Any) -> Dict[str, Any]:
+    """Wall-clock protected searches/sec on a demo overlay, plus the
+    per-stage simulated breakdown of one traced search. Best of
+    *repeats* passes, each on a fresh (identically seeded) overlay."""
+    from repro import obs
+    from repro.core.client import CyclosaNetwork
+    from repro.obs.breakdown import root_span, stage_breakdown
+
+    queries = workload_queries(searches, seed=seed)
+
+    obs.disable(reset=True)
+    deploy_seconds = float("inf")
+    elapsed = float("inf")
+    ok = 0
+    for _ in range(max(1, repeats)):
+        begin = time.perf_counter()
+        deployment = CyclosaNetwork.create(num_nodes=num_nodes, seed=seed)
+        deploy_seconds = min(deploy_seconds, time.perf_counter() - begin)
+        user = deployment.node(0)
+
+        pass_ok = 0
+        begin = time.perf_counter()
+        for query in queries:
+            if user.search(query).ok:
+                pass_ok += 1
+        pass_elapsed = time.perf_counter() - begin
+        if pass_elapsed < elapsed:
+            elapsed = pass_elapsed
+            ok = pass_ok
+
+    # One traced search on a fresh overlay: the simulated per-stage
+    # breakdown localises where a throughput regression lives.
+    traced = CyclosaNetwork.create(num_nodes=num_nodes, seed=seed,
+                                   observe=True)
+    result = traced.node(0).search(queries[0])
+    spans = obs.get_tracer().sink.spans
+    rows = stage_breakdown(spans, trace_id=result.trace_id)
+    root = root_span(spans, trace_id=result.trace_id)
+    obs.disable(reset=True)
+
+    return {
+        "num_nodes": num_nodes,
+        "searches": searches,
+        "ok": ok,
+        "deploy_seconds": deploy_seconds,
+        "searches_per_sec": searches / elapsed,
+        "stage_breakdown_simulated_seconds": {
+            row.stage: row.duration for row in rows},
+        "simulated_end_to_end_seconds":
+            root.duration if root is not None and root.finished else None,
+    }
+
+
+# -- assembly ------------------------------------------------------------
+
+
+def run_all(**overrides: Any) -> Dict[str, Any]:
+    """Run every bench; *overrides* patch :data:`DEFAULT_PARAMS`."""
+    params = dict(DEFAULT_PARAMS)
+    unknown = set(overrides) - set(params)
+    if unknown:
+        raise TypeError(f"unknown perf parameters: {sorted(unknown)}")
+    params.update({k: v for k, v in overrides.items() if v is not None})
+    from repro.text.cache import cache_stats
+
+    results = {
+        "meta": {
+            "schema": 1,
+            "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "params": params,
+        },
+        "sensitivity": bench_sensitivity(**params),
+        "simulator": bench_simulator(**params),
+        "search": bench_search(**params),
+    }
+    results["text_caches"] = cache_stats()
+    return results
+
+
+def write_baseline(results: Dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_baseline(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def format_report(results: Dict[str, Any]) -> str:
+    """The human-readable table ``repro perf`` prints."""
+    sens = results["sensitivity"]
+    sim = results["simulator"]
+    search = results["search"]
+    lines = [
+        "== CYCLOSA pipeline perf ==",
+        f"python {results['meta']['python']}  "
+        f"({results['meta']['platform']})",
+        "",
+        f"sensitivity ({sens['history_size']}-query history, "
+        f"{sens['probes']} probes)",
+        f"  cold assessments/sec      : {sens['cold_assessments_per_sec']:>12.1f}",
+        f"  warm assessments/sec      : {sens['warm_assessments_per_sec']:>12.1f}",
+        f"  linkability indexed/sec   : "
+        f"{sens['linkability_indexed_scores_per_sec']:>12.1f}",
+        f"  linkability linear/sec    : "
+        f"{sens['linkability_linear_scores_per_sec']:>12.1f}",
+        f"  indexed speedup           : "
+        f"{sens['linkability_speedup']:>11.1f}x  "
+        f"(scores identical: {sens['scores_bit_identical']})",
+        "",
+        f"simulator ({sim['events']} events, {sim['cancelled']} cancelled)",
+        f"  events/sec                : {sim['events_per_sec']:>12.0f}",
+        "",
+        f"end-to-end ({search['num_nodes']} nodes, "
+        f"{search['searches']} searches, {search['ok']} ok)",
+        f"  searches/sec (wall)       : {search['searches_per_sec']:>12.2f}",
+        f"  deploy seconds            : {search['deploy_seconds']:>12.2f}",
+        "  simulated stage breakdown :",
+    ]
+    for stage, duration in search["stage_breakdown_simulated_seconds"].items():
+        lines.append(f"    {stage:<20} {duration * 1000:>10.3f} ms")
+    total = search.get("simulated_end_to_end_seconds")
+    if total is not None:
+        lines.append(f"    {'end-to-end':<20} {total * 1000:>10.3f} ms")
+    return "\n".join(lines)
+
+
+def compare(baseline: Dict[str, Any], fresh: Dict[str, Any],
+            tolerance: float = 0.2) -> List[Dict[str, Any]]:
+    """Per-metric comparison rows; a row regressed when the fresh
+    throughput fell more than *tolerance* below the baseline."""
+    rows = []
+    for section, key in THROUGHPUT_KEYS:
+        base = float(baseline[section][key])
+        now = float(fresh[section][key])
+        ratio = now / base if base else float("inf")
+        rows.append({
+            "metric": f"{section}.{key}",
+            "baseline": base,
+            "fresh": now,
+            "ratio": ratio,
+            "regressed": ratio < (1.0 - tolerance),
+        })
+    return rows

@@ -4,7 +4,11 @@ Everything CYCLOSA's sensitivity analysis needs, implemented from
 scratch:
 
 - :mod:`repro.text.tokenize`  — query tokenisation + stopwords.
-- :mod:`repro.text.stem`      — the Porter stemmer.
+- :mod:`repro.text.stem`      — the Porter stemmer (memoized).
+- :mod:`repro.text.cache`     — bounded LRU memos in front of the
+  tokenize → stem → vectorize pipeline, with hit/miss/eviction
+  counters exportable through :mod:`repro.obs`
+  (see ``docs/performance.md``).
 - :mod:`repro.text.vectorize` — binary/sparse term vectors and cosine
   similarity (the distance both the linkability assessment and the
   SimAttack adversary use).
@@ -19,9 +23,16 @@ scratch:
   precision/recall trade-off (Table II).
 """
 
+from repro.text.cache import (
+    LruCache,
+    cache_stats,
+    clear_caches,
+    install_metrics,
+    publish_metrics,
+)
 from repro.text.smoothing import exponential_smoothing, smoothed_similarity
 from repro.text.stem import porter_stem
-from repro.text.tokenize import STOPWORDS, tokenize
+from repro.text.tokenize import STOPWORDS, stemmed_terms, stemmed_tokens, tokenize
 from repro.text.vectorize import (
     TermVector,
     cosine_binary,
@@ -35,6 +46,13 @@ __all__ = [
     "porter_stem",
     "STOPWORDS",
     "tokenize",
+    "stemmed_terms",
+    "stemmed_tokens",
+    "LruCache",
+    "cache_stats",
+    "clear_caches",
+    "install_metrics",
+    "publish_metrics",
     "TermVector",
     "cosine_binary",
     "cosine_sparse",

@@ -10,6 +10,10 @@ examples ("caresses" → "caress", "ponies" → "poni", "relational" →
 
 from __future__ import annotations
 
+from functools import lru_cache
+
+from repro.text.cache import STEM_CACHE_SIZE
+
 _VOWELS = set("aeiou")
 
 
@@ -165,8 +169,15 @@ def _step5b(word: str) -> str:
     return word
 
 
+@lru_cache(maxsize=STEM_CACHE_SIZE)
 def porter_stem(word: str) -> str:
-    """Return the Porter stem of *word* (expected lowercase)."""
+    """Return the Porter stem of *word* (expected lowercase).
+
+    Memoized: stemming is pure and query vocabularies are small and
+    repetitive, so an ``lru_cache`` turns the five-step rewrite into a
+    dictionary hit on the warm path. Stats surface through
+    :func:`repro.text.cache.cache_stats` (name ``porter_stem``).
+    """
     if len(word) <= 2:
         return word
     word = _step1a(word)

@@ -9,7 +9,9 @@ and single characters → optionally Porter-stem.
 from __future__ import annotations
 
 import re
-from typing import List
+from typing import List, Tuple
+
+from repro.text.cache import DEFAULT_QUERY_CACHE_SIZE, LruCache
 
 # A compact English stopword list — enough to keep function words out of
 # user profiles without deleting informative query terms.
@@ -48,8 +50,29 @@ def tokenize(text: str, drop_stopwords: bool = True,
     ]
 
 
-def stemmed_tokens(text: str) -> List[str]:
-    """Tokenise then Porter-stem (the canonical profile representation)."""
-    from repro.text.stem import porter_stem
+#: query text -> tuple of stemmed tokens. Immutable values, shared.
+_STEMMED_CACHE = LruCache("stemmed_terms", DEFAULT_QUERY_CACHE_SIZE)
 
-    return [porter_stem(token) for token in tokenize(text)]
+
+def stemmed_terms(text: str) -> Tuple[str, ...]:
+    """Tokenise then Porter-stem, memoized.
+
+    Returns an immutable tuple so the cached value can be shared by
+    every caller; the bounded memo (and its hit/miss counters) lives in
+    :mod:`repro.text.cache`.
+    """
+    try:
+        return _STEMMED_CACHE.lookup(text)
+    except KeyError:
+        from repro.text.stem import porter_stem
+
+        terms = tuple(porter_stem(token) for token in tokenize(text))
+        return _STEMMED_CACHE.store(text, terms)
+
+
+def stemmed_tokens(text: str) -> List[str]:
+    """Tokenise then Porter-stem (the canonical profile representation).
+
+    A list-returning convenience over :func:`stemmed_terms` (the list
+    is fresh per call; the underlying tuple is cached)."""
+    return list(stemmed_terms(text))

@@ -12,18 +12,29 @@ from __future__ import annotations
 import math
 from typing import Dict, FrozenSet, Iterable, Mapping
 
-from repro.text.stem import porter_stem
-from repro.text.tokenize import tokenize
+from repro.text.cache import DEFAULT_QUERY_CACHE_SIZE, LruCache
+from repro.text.tokenize import stemmed_terms, tokenize
 
 TermVector = Dict[str, float]
 
+#: (query text, stem?) -> frozenset vector. Immutable values, shared.
+_VECTOR_CACHE = LruCache("query_vectors", DEFAULT_QUERY_CACHE_SIZE)
+
 
 def query_vector(text: str, stem: bool = True) -> FrozenSet[str]:
-    """The binary term-set representation of a query."""
-    tokens = tokenize(text)
-    if stem:
-        tokens = [porter_stem(token) for token in tokens]
-    return frozenset(tokens)
+    """The binary term-set representation of a query.
+
+    Memoized behind a bounded LRU (see :mod:`repro.text.cache`): the
+    sensitivity pipeline, SimAttack and the baselines all vectorize the
+    same query strings repeatedly, and the returned ``frozenset`` is
+    immutable so one instance serves every caller.
+    """
+    key = (text, stem)
+    try:
+        return _VECTOR_CACHE.lookup(key)
+    except KeyError:
+        terms = stemmed_terms(text) if stem else tokenize(text)
+        return _VECTOR_CACHE.store(key, frozenset(terms))
 
 
 def count_vector(tokens: Iterable[str]) -> TermVector:

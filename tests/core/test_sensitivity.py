@@ -1,6 +1,7 @@
 """Tests for the sensitivity analysis (§V-A)."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core.sensitivity import (
     LinkabilityAssessor,
@@ -69,6 +70,34 @@ class TestSemanticAssessor:
         with pytest.raises(ValueError):
             SemanticAssessor(mode="magic")
 
+    def test_wordnet_min_hits_honored(self):
+        # Regression: the threshold was stored but never consulted, so
+        # min_hits=2 behaved like min_hits=1.
+        strict = SemanticAssessor(
+            wordnet_terms={"cancer", "tumor"}, mode="wordnet",
+            wordnet_min_hits=2)
+        assert not strict.is_sensitive("cancer treatment options")
+        assert strict.is_sensitive("cancer tumor staging")
+
+    def test_wordnet_min_hits_default_is_single_hit(self):
+        # The default must stay 1 — the behaviour every caller observed
+        # while the knob was dead.
+        assessor = SemanticAssessor(
+            wordnet_terms={"cancer", "tumor"}, mode="wordnet")
+        assert assessor.wordnet_min_hits == 1
+        assert assessor.is_sensitive("cancer treatment options")
+
+    def test_wordnet_min_hits_ignored_outside_wordnet_mode(self):
+        assessor = SemanticAssessor(
+            lda_terms={"therapy"}, mode="lda", wordnet_min_hits=5)
+        assert assessor.is_sensitive("group therapy near me")
+
+    def test_from_resources_honors_min_hits(self):
+        wordnet = SyntheticWordNet.build(seed=3)
+        strict = SemanticAssessor.from_resources(
+            wordnet=wordnet, mode="wordnet", wordnet_min_hits=2)
+        assert strict.wordnet_min_hits == 2
+
     def test_from_resources_topics_scope(self):
         wordnet = SyntheticWordNet.build(seed=3)
         all_topics = SemanticAssessor.from_resources(
@@ -116,6 +145,99 @@ class TestLinkabilityAssessor:
     def test_invalid_alpha(self):
         with pytest.raises(ValueError):
             LinkabilityAssessor(alpha=0.0)
+
+
+# Query strings drawn from a tiny shared vocabulary, so randomized
+# corpora get real term overlap (the interesting case for the index).
+_VOCAB = ["flu", "symptoms", "treatment", "cancer", "football",
+          "scores", "hotel", "paris", "vaccine", "the", "of"]
+_query_strategy = st.lists(
+    st.sampled_from(_VOCAB), min_size=0, max_size=5).map(" ".join)
+
+
+class TestLinkabilityIndexEquivalence:
+    """The inverted index must reproduce the linear scan bit-for-bit."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(history=st.lists(_query_strategy, min_size=0, max_size=30),
+           probe=_query_strategy,
+           alpha=st.sampled_from([0.25, 0.5, 0.9, 1.0]))
+    def test_property_indexed_equals_linear(self, history, probe, alpha):
+        assessor = LinkabilityAssessor(alpha=alpha, history=history)
+        indexed = assessor.score(probe)
+        linear = assessor.score_linear(probe)
+        assert indexed == pytest.approx(linear, abs=1e-12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(history=st.lists(_query_strategy, min_size=1, max_size=30),
+           records=st.lists(_query_strategy, min_size=0, max_size=10),
+           probe=_query_strategy)
+    def test_property_equivalence_survives_record(self, history, records,
+                                                  probe):
+        assessor = LinkabilityAssessor(history=history)
+        for text in records:
+            assessor.record(text)
+        assert assessor.score(probe) == pytest.approx(
+            assessor.score_linear(probe), abs=1e-12)
+
+    def test_empty_vector_query_scores_zero_both_ways(self):
+        assessor = LinkabilityAssessor(history=["flu symptoms"])
+        assert assessor.score("the of and") == 0.0
+        assert assessor.score_linear("the of and") == 0.0
+
+    def test_fresh_profile_scores_zero_both_ways(self):
+        assessor = LinkabilityAssessor()
+        assert assessor.score("flu symptoms") == 0.0
+        assert assessor.score_linear("flu symptoms") == 0.0
+
+    def test_stopword_only_history_entries_still_count(self):
+        # Entries that vectorize to nothing occupy the low end of the
+        # ranking (cosine 0.0) — both implementations must agree.
+        assessor = LinkabilityAssessor(
+            history=["the of", "flu symptoms", "of the"])
+        probe = "flu vaccine"
+        assert assessor.score(probe) == assessor.score_linear(probe)
+        assert assessor.score(probe) > 0.0
+
+
+class TestLinkabilityWindow:
+    def test_max_history_evicts_oldest(self):
+        assessor = LinkabilityAssessor(history=["flu symptoms"],
+                                       max_history=2)
+        assessor.record("hotel paris")
+        assessor.record("football scores")
+        assert len(assessor) == 2
+        # The evicted "flu symptoms" entry no longer contributes.
+        assert assessor.score("flu symptoms") == \
+            assessor.score_linear("flu symptoms")
+        unwindowed = LinkabilityAssessor(
+            history=["hotel paris", "football scores"])
+        assert assessor.score("flu symptoms") == \
+            unwindowed.score("flu symptoms")
+
+    def test_windowed_equals_unwindowed_tail(self):
+        texts = [f"flu symptoms day{i % 7}" for i in range(40)]
+        windowed = LinkabilityAssessor(history=texts, max_history=10)
+        tail = LinkabilityAssessor(history=texts[-10:])
+        for probe in ("flu vaccine", "flu symptoms day3", "hotel paris"):
+            assert windowed.score(probe) == tail.score(probe)
+            assert windowed.score(probe) == windowed.score_linear(probe)
+
+    def test_compaction_preserves_scores(self):
+        # Push far past the compaction threshold (dead > 256).
+        windowed = LinkabilityAssessor(max_history=8)
+        texts = [f"flu symptoms day{i % 5}" for i in range(600)]
+        for text in texts:
+            windowed.record(text)
+        tail = LinkabilityAssessor(history=texts[-8:])
+        assert len(windowed) == 8
+        probe = "flu symptoms day2"
+        assert windowed.score(probe) == tail.score(probe)
+        assert windowed.score(probe) == windowed.score_linear(probe)
+
+    def test_invalid_max_history(self):
+        with pytest.raises(ValueError):
+            LinkabilityAssessor(max_history=0)
 
 
 class TestSensitivityAnalysis:

@@ -73,6 +73,33 @@ class TestCancellation:
         sim.run()
         handle.cancel()  # must not raise
 
+    def test_handle_exposes_cancelled_and_time(self):
+        sim = Simulator()
+        handle = sim.schedule(1.5, lambda: None)
+        assert handle.time == 1.5
+        assert not handle.cancelled
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_cancelled_events_not_counted_as_processed(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2)).cancel()
+        sim.schedule(3.0, lambda: fired.append(3))
+        sim.run()
+        assert fired == [1, 3]
+        assert sim.events_processed == 2
+
+    def test_step_skips_dead_entries(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1)).cancel()
+        sim.schedule(2.0, lambda: fired.append(2))
+        assert sim.step() is True   # one live callback ran
+        assert fired == [2]
+        assert sim.step() is False
+
 
 class TestRunControl:
     def test_run_until_stops_clock_at_bound(self):
@@ -101,6 +128,28 @@ class TestRunControl:
         sim.schedule(0.1, rescheduling)
         with pytest.raises(RuntimeError):
             sim.run(max_events=100)
+
+    def test_max_events_counts_executed_callbacks_only(self):
+        # The budget is real work: cancelled entries popped on the way
+        # are free, so N live events always fit in max_events=N no
+        # matter how many dead entries precede them.
+        sim = Simulator()
+        fired = []
+        for index in range(10):
+            handle = sim.schedule(float(index), lambda i=index: fired.append(i))
+            if index % 2 == 0:
+                handle.cancel()
+        sim.run(max_events=5)  # exactly the 5 live events — no raise
+        assert fired == [1, 3, 5, 7, 9]
+
+    def test_max_events_budget_exhausted_by_live_events_only(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None).cancel()
+        sim.schedule(2.0, lambda: None)
+        sim.schedule(3.0, lambda: None)
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=1)
+        assert sim.events_processed == 1
 
     def test_step_returns_false_when_empty(self):
         assert Simulator().step() is False

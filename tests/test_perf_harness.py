@@ -1,0 +1,158 @@
+"""Tests for the perf harness (repro.perf) and its regression guard.
+
+Everything here runs at toy scale — these are correctness tests of the
+harness plumbing (parameters, JSON schema, comparison logic, CLI exit
+codes), not perf measurements. The measurements live in
+``benchmarks/test_bench_pipeline.py`` behind the ``perf`` marker.
+"""
+
+import copy
+import json
+
+import pytest
+
+from benchmarks import check_regression
+from repro import perf
+from repro.cli import main as cli_main
+
+#: Small enough that the whole module stays in tier-1 comfortably.
+TINY = dict(history_size=120, probes=10, linear_probes=4,
+            num_events=1500, chains=8, num_nodes=4, searches=2, seed=0,
+            repeats=1)
+
+
+@pytest.fixture(scope="module")
+def tiny_results():
+    return perf.run_all(**TINY)
+
+
+class TestRunAll:
+    def test_sections_and_meta(self, tiny_results):
+        assert set(tiny_results) >= {"meta", "sensitivity", "simulator",
+                                     "search", "text_caches"}
+        meta = tiny_results["meta"]
+        assert meta["schema"] == 1
+        assert meta["params"]["history_size"] == 120
+
+    def test_every_throughput_key_present_and_positive(self, tiny_results):
+        for section, key in perf.THROUGHPUT_KEYS:
+            assert tiny_results[section][key] > 0.0
+
+    def test_scores_bit_identical_at_tiny_scale(self, tiny_results):
+        assert tiny_results["sensitivity"]["scores_bit_identical"] is True
+
+    def test_search_section_shape(self, tiny_results):
+        search = tiny_results["search"]
+        assert search["ok"] == search["searches"] == 2
+        assert "sensitivity" in search["stage_breakdown_simulated_seconds"]
+        assert search["simulated_end_to_end_seconds"] is not None
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(TypeError):
+            perf.run_all(histroy_size=10)
+
+    def test_none_overrides_fall_back_to_defaults(self):
+        params = dict(TINY)
+        params["seed"] = None
+        results_meta_params = {}
+        # Only exercise the parameter plumbing, not a full run: patch
+        # via run_all's own validation by passing everything tiny.
+        out = perf.run_all(**params)
+        results_meta_params = out["meta"]["params"]
+        assert results_meta_params["seed"] == perf.DEFAULT_PARAMS["seed"]
+
+    def test_workload_queries_deterministic(self):
+        assert perf.workload_queries(30, seed=5) == \
+            perf.workload_queries(30, seed=5)
+        assert len(perf.workload_queries(30, seed=5)) == 30
+
+
+class TestBaselineIO:
+    def test_write_load_roundtrip(self, tiny_results, tmp_path):
+        path = str(tmp_path / "bench.json")
+        perf.write_baseline(tiny_results, path)
+        assert perf.load_baseline(path) == json.loads(
+            json.dumps(tiny_results))
+
+    def test_format_report_mentions_headlines(self, tiny_results):
+        report = perf.format_report(tiny_results)
+        assert "indexed speedup" in report
+        assert "events/sec" in report
+        assert "searches/sec" in report
+
+
+class TestCompare:
+    def test_no_regression_against_self(self, tiny_results):
+        rows = perf.compare(tiny_results, tiny_results)
+        assert len(rows) == len(perf.THROUGHPUT_KEYS)
+        assert not any(row["regressed"] for row in rows)
+
+    def test_inflated_baseline_flags_regression(self, tiny_results):
+        inflated = copy.deepcopy(tiny_results)
+        inflated["simulator"]["events_per_sec"] *= 100.0
+        rows = perf.compare(inflated, tiny_results, tolerance=0.2)
+        flagged = {row["metric"] for row in rows if row["regressed"]}
+        assert flagged == {"simulator.events_per_sec"}
+
+    def test_tolerance_is_respected(self, tiny_results):
+        slightly_better = copy.deepcopy(tiny_results)
+        slightly_better["search"]["searches_per_sec"] *= 1.1
+        rows = perf.compare(slightly_better, tiny_results, tolerance=0.2)
+        assert not any(row["regressed"] for row in rows)
+
+
+class TestCheckRegression:
+    def test_missing_baseline_exits_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        assert check_regression.main(["--baseline", missing]) == 2
+
+    def test_pass_against_own_baseline(self, tiny_results, tmp_path,
+                                       capsys):
+        path = str(tmp_path / "bench.json")
+        perf.write_baseline(tiny_results, path)
+        # Re-runs the benches with the baseline's own (tiny) params; a
+        # generous tolerance absorbs wall-clock noise in CI.
+        assert check_regression.main(
+            ["--baseline", path, "--tolerance", "0.95"]) == 0
+        assert "no perf regression" in capsys.readouterr().out
+
+    def test_fail_against_inflated_baseline(self, tiny_results, tmp_path,
+                                            capsys):
+        inflated = copy.deepcopy(tiny_results)
+        for section, key in perf.THROUGHPUT_KEYS:
+            inflated[section][key] *= 1000.0
+        path = str(tmp_path / "bench.json")
+        perf.write_baseline(inflated, path)
+        assert check_regression.main(["--baseline", path]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_update_writes_baseline(self, tiny_results, tmp_path):
+        path = str(tmp_path / "bench.json")
+        perf.write_baseline(tiny_results, path)  # params source
+        assert check_regression.main(
+            ["--baseline", path, "--update"]) == 0
+        refreshed = perf.load_baseline(path)
+        assert refreshed["meta"]["params"] == tiny_results["meta"]["params"]
+
+
+class TestCli:
+    def test_perf_subcommand_writes_report(self, tmp_path, capsys,
+                                           monkeypatch):
+        out = str(tmp_path / "bench.json")
+        code = cli_main(["perf", "--history", "100", "--probes", "6",
+                         "--events", "1000", "--nodes", "4",
+                         "--searches", "2", "--output", out])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "CYCLOSA pipeline perf" in captured
+        written = perf.load_baseline(out)
+        assert written["meta"]["params"]["history_size"] == 100
+
+    def test_perf_no_write(self, tmp_path, capsys):
+        out = str(tmp_path / "bench.json")
+        code = cli_main(["perf", "--history", "100", "--probes", "6",
+                         "--events", "1000", "--nodes", "4",
+                         "--searches", "2", "--output", out,
+                         "--no-write"])
+        assert code == 0
+        assert not (tmp_path / "bench.json").exists()
