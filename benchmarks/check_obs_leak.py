@@ -1,0 +1,67 @@
+"""Telemetry-leak gate: observability must never weaken CYCLOSA.
+
+Runs the dynamic telemetry privacy audit (:mod:`repro.obs.audit`)
+over a seeded deployment: a wiretap on every transmission plus a scan
+of every emitted span, checking that
+
+1. no trace identifier and no query text appears in any wire-visible
+   byte (kinds, addresses, plaintext payload encodings, sealed
+   ciphertexts),
+2. no span attribute carries query text or a real/fake marker, and
+3. the spans other nodes emit for the real query's fan-out leg are
+   shape-identical to every fake leg's.
+
+Exit code 0 on a clean run, 1 on any sighting — wire it into CI next
+to ``check_regression.py``::
+
+    PYTHONPATH=src python -m benchmarks.check_obs_leak
+    PYTHONPATH=src python -m benchmarks.check_obs_leak --nodes 16 --seed 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+DEFAULT_QUERIES = (
+    "flu symptoms treatment",
+    "cheap flights paris",
+    "python generator tutorial",
+)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="check_obs_leak",
+        description="audit a seeded deployment's telemetry for trace-id "
+                    "or query-text leaks")
+    parser.add_argument("--nodes", type=int, default=16,
+                        help="deployment size (default 16)")
+    parser.add_argument("--seed", type=int, default=3,
+                        help="deployment seed (default 3)")
+    parser.add_argument("--queries", nargs="*", default=None,
+                        help="queries to drive (default: a built-in trio)")
+    parser.add_argument("--drain", type=float, default=60.0,
+                        help="simulated seconds to drain fake-leg "
+                             "responses after the last search")
+    args = parser.parse_args(argv)
+
+    from repro import obs
+    from repro.core.client import CyclosaNetwork
+
+    queries = list(args.queries) if args.queries else list(DEFAULT_QUERIES)
+    deployment = CyclosaNetwork.create(num_nodes=args.nodes, seed=args.seed,
+                                       observe=True)
+    report = obs.run_telemetry_audit(deployment, queries,
+                                     drain_seconds=args.drain)
+    print(report.format())
+    if not report.ok:
+        print("telemetry leak detected — observability output is "
+              "carrying protocol secrets", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -89,3 +89,56 @@ def test_bench_obs_disabled_overhead(benchmark, report):
 
     assert guards_per_search > 0, "no instrumented call sites were hit"
     assert ratio < OVERHEAD_BUDGET
+
+
+def test_bench_obs_disabled_overhead_distributed(benchmark, report):
+    """Same contract over the *whole* distributed path.
+
+    A search's guards don't stop when the result lands: the k fake
+    legs are still in flight, and their relay-side forwarding,
+    engine service and response wrapping — all instrumented for
+    distributed tracing — run during the drain that follows. Count
+    guards across search + drain so the relay/engine-side
+    instrumentation added for cross-node tracing is held to the same
+    <5 % disabled budget.
+    """
+    obs.disable(reset=True)
+    deployment = CyclosaNetwork.create(num_nodes=12, seed=9)
+    user = deployment.node(0)
+    drain = 60.0
+    user.search("warmup query")
+    deployment.run(drain)  # touch the fake-leg paths once
+
+    flag = CountingFlag()
+    obs.OBS.enabled = flag
+    user.search("counted query")
+    deployment.run(drain)
+    guards_per_cycle = flag.evaluations
+    obs.OBS.enabled = False
+
+    per_guard = _guard_cost()
+
+    def timed_cycle():
+        begin = time.perf_counter()
+        result = user.search("timed query")
+        assert result.ok
+        deployment.run(drain)
+        return time.perf_counter() - begin
+
+    cycle_seconds = single_run(benchmark, timed_cycle)
+
+    overhead = guards_per_cycle * per_guard
+    ratio = overhead / cycle_seconds
+    report("\n".join([
+        "",
+        "== Observability overhead (disabled, distributed path) ==",
+        f"guard evaluations per cycle  : {guards_per_cycle}",
+        f"cost per guard               : {per_guard * 1e9:.1f} ns",
+        f"guard overhead per cycle     : {overhead * 1e6:.1f} us",
+        f"search + drain (obs off)     : {cycle_seconds * 1e3:.1f} ms",
+        f"overhead ratio               : {ratio * 100:.4f} %  "
+        f"(budget {OVERHEAD_BUDGET * 100:.0f} %)",
+    ]))
+
+    assert guards_per_cycle > 0, "no instrumented call sites were hit"
+    assert ratio < OVERHEAD_BUDGET

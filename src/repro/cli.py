@@ -144,29 +144,68 @@ def _print_trace_report(trace_id: Optional[str]) -> None:
     print(prometheus_snapshot(obs.get_registry()))
 
 
-def _cmd_obs(query: str, num_nodes: int, seed: int, fmt: str) -> int:
+#: Simulated seconds to drive the deployment past the real result, so
+#: the fake legs' (late) responses and their relay spans land before
+#: the trace is assembled.
+_OBS_DRAIN_SECONDS = 60.0
+
+
+def _cmd_obs(query: str, num_nodes: int, seed: int, fmt: str,
+             run_audit: bool = False) -> int:
     """Run one traced search and dump observability output."""
     from repro.core.client import CyclosaNetwork
 
     deployment = CyclosaNetwork.create(num_nodes=num_nodes, seed=seed,
                                        observe=True)
-    result = deployment.node(0).search(query)
     from repro import obs
+
+    if run_audit:
+        report = obs.run_telemetry_audit(
+            deployment, [query], drain_seconds=_OBS_DRAIN_SECONDS)
+        print(report.format())
+        return 0 if report.ok else 1
+
+    result = deployment.node(0).search(query)
     from repro.obs.breakdown import format_breakdown, root_span, \
         stage_breakdown
-    from repro.obs.export import prometheus_snapshot, trace_to_jsonl
+    from repro.obs.export import (chrome_trace, prometheus_snapshot,
+                                  trace_to_jsonl)
 
     tracer = obs.get_tracer()
     spans = tracer.sink.spans if tracer is not None else []
     if fmt == "jsonl":
+        deployment.run(_OBS_DRAIN_SECONDS)
         if result.trace_id is not None:
-            spans = tracer.sink.for_trace(result.trace_id)
+            spans = deployment.assembled_trace(result.trace_id).spans
+        else:
+            spans = tracer.sink.spans + obs.OBS.router.all_spans()
         print(trace_to_jsonl(spans))
     elif fmt == "prom":
         from repro.text.cache import install_metrics
 
         install_metrics(obs.get_registry())
         print(prometheus_snapshot(obs.get_registry()), end="")
+    elif fmt == "chrome":
+        deployment.run(_OBS_DRAIN_SECONDS)
+        if result.trace_id is not None:
+            spans = deployment.assembled_trace(result.trace_id).spans
+        else:
+            spans = tracer.sink.spans + obs.OBS.router.all_spans()
+        print(chrome_trace(spans))
+    elif fmt == "critical":
+        deployment.run(_OBS_DRAIN_SECONDS)
+        if result.trace_id is None:
+            print("(no trace id — was observability enabled?)")
+            return 1
+        assembled = deployment.assembled_trace(result.trace_id)
+        print(f"query  : {query!r}  (status {result.status}, "
+              f"k={result.k}, seed {seed})")
+        print(obs.format_report(obs.critical_path(assembled)))
+        summaries = obs.relay_latency_summaries(obs.OBS.router.all_spans())
+        stragglers = obs.find_stragglers(summaries)
+        if stragglers:
+            print("stragglers     : " + ", ".join(stragglers)
+                  + "  (candidate §VI-b blacklist)")
     else:  # table
         print(f"query  : {query!r}  (status {result.status}, "
               f"k={result.k}, seed {seed})")
@@ -229,9 +268,18 @@ def build_parser() -> argparse.ArgumentParser:
     obs_parser.add_argument("--nodes", type=int, default=16)
     obs_parser.add_argument("--seed", type=int, default=7)
     obs_parser.add_argument(
-        "--format", choices=("table", "jsonl", "prom"), default="table",
-        help="table = per-stage breakdown, jsonl = trace dump, "
-             "prom = Prometheus text snapshot")
+        "--format",
+        choices=("table", "jsonl", "prom", "chrome", "critical"),
+        default="table",
+        help="table = per-stage breakdown, jsonl = assembled distributed "
+             "trace dump, prom = Prometheus text snapshot, chrome = "
+             "Chrome trace-event JSON (load in chrome://tracing or "
+             "Perfetto), critical = cross-node critical-path report")
+    obs_parser.add_argument(
+        "--audit", action="store_true",
+        help="run the telemetry privacy audit instead: wiretap the "
+             "deployment, issue the query, and verify no trace ids or "
+             "query text leak into wire metadata or span attributes")
 
     perf_parser = subparsers.add_parser(
         "perf", help="run the pipeline perf benches and write the "
@@ -268,7 +316,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_search(args.query, args.nodes, args.seed, args.kmax,
                            trace=args.trace)
     if args.command == "obs":
-        return _cmd_obs(args.query, args.nodes, args.seed, args.format)
+        return _cmd_obs(args.query, args.nodes, args.seed, args.format,
+                        run_audit=args.audit)
     if args.command == "perf":
         return _cmd_perf(args)
     parser.print_help()

@@ -226,6 +226,18 @@ class CyclosaNetwork:
         """Advance the whole deployment by *seconds* of simulated time."""
         self.simulator.advance(seconds)
 
+    def assembled_trace(self, trace_id: str):
+        """Merge every node's span sink into the one causal trace of
+        *trace_id* (see :func:`repro.obs.distributed.assemble`).
+
+        Requires ``observe=True``; drive the deployment forward first
+        (``deployment.run(...)``) if you want the fake legs' responses
+        — which arrive after the real result — included.
+        """
+        import repro.obs as obs
+
+        return obs.assemble(trace_id, *obs.trace_sources(obs.OBS))
+
     @property
     def engine_log(self):
         """The honest-but-curious engine's observation log (for attacks

@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.core.fake_queries import PastQueryTable
 from repro.net import wire
 from repro.net.tls import SecureChannel, TlsError
+from repro.obs.distributed import TraceContext
 from repro.sgx.enclave import Enclave, ecall
 
 #: Forward records are padded to a multiple of this envelope before
@@ -173,7 +174,8 @@ class CyclosaEnclave(Enclave):
 
     @ecall
     def build_protected_batch(self, query: str, k: int, relays: List[str],
-                              true_user: Optional[str] = None
+                              true_user: Optional[str] = None,
+                              trace_contexts: Optional[Dict[str, str]] = None
                               ) -> List[Tuple[str, bytes]]:
         """Produce one sealed forward record per relay.
 
@@ -182,6 +184,13 @@ class CyclosaEnclave(Enclave):
         relay carries a distinct fake drawn from the past-queries
         table. Which relay got the real query is recorded *only* in
         enclave state, keyed by per-record tokens.
+
+        ``trace_contexts`` (optional, observability) maps relay address
+        to a traceparent string embedded in that relay's record. The
+        context rides *inside* the sealed payload — never on the
+        plaintext wire — and every record (real or fake) carries a
+        same-shaped string, so sealed sizes stay indistinguishable
+        (records are envelope-padded regardless).
 
         Returns ``[(relay_address, sealed_record), ...]`` in randomized
         dispatch order.
@@ -217,11 +226,14 @@ class CyclosaEnclave(Enclave):
                     text, is_fake = next(fake_iter), True
                 except StopIteration:
                     continue  # table under-filled: fewer fakes than k
-            record = _pad_record({
+            fields: Dict[str, Any] = {
                 "token": token,
                 "query": text,
                 "meta": {"true_user": true_user, "is_fake": is_fake},
-            })
+            }
+            if trace_contexts and relay in trace_contexts:
+                fields["tp"] = trace_contexts[relay]
+            record = _pad_record(fields)
             pending[token] = {
                 "real": not is_fake,
                 "relay": relay,
@@ -234,7 +246,8 @@ class CyclosaEnclave(Enclave):
         return batch
 
     @ecall
-    def rebuild_real(self, token: str, new_relay: str) -> Tuple[str, bytes]:
+    def rebuild_real(self, token: str, new_relay: str,
+                     traceparent: Optional[str] = None) -> Tuple[str, bytes]:
         """Re-issue the real query through *new_relay* after its original
         relay timed out (§VI-b blacklisting + retry)."""
         pending: Dict[str, Dict[str, Any]] = self.trusted["pending"]
@@ -245,11 +258,14 @@ class CyclosaEnclave(Enclave):
         if new_relay not in channels:
             raise KeyError(f"no attested channel with {new_relay}")
         new_token = f"t{next(self._token_counter):08d}"
-        record = _pad_record({
+        fields: Dict[str, Any] = {
             "token": new_token,
             "query": entry["query"],
             "meta": {"true_user": None, "is_fake": False},
-        })
+        }
+        if traceparent is not None:
+            fields["tp"] = traceparent
+        record = _pad_record(fields)
         pending[new_token] = {
             "real": True, "relay": new_relay, "query": entry["query"],
         }
@@ -298,7 +314,8 @@ class CyclosaEnclave(Enclave):
     # -- relay side: forwarding (§V-C) ---------------------------------------
 
     @ecall
-    def unwrap_forward(self, src: str, sealed: bytes
+    def unwrap_forward(self, src: str, sealed: bytes,
+                       onward_span_id: Optional[int] = None
                        ) -> Optional[Tuple[int, bytes]]:
         """Relay step: decrypt a peer's record, store its query in the
         past-queries table, and re-seal it for the search engine.
@@ -308,6 +325,13 @@ class CyclosaEnclave(Enclave):
         handle for the sealed response via :meth:`wrap_relay_response`.
         Returns ``None`` if the source has no attested channel or the
         record fails authentication.
+
+        When the record carries a trace context and *onward_span_id*
+        is given (observability on), the context is re-parented onto
+        that span id and embedded in the engine-bound record — hop-by-
+        hop propagation, again enclave-to-enclave only. The incoming
+        context is retained with the forward handle for
+        :meth:`forward_trace_context`.
         """
         channels: Dict[str, SecureChannel] = self.trusted["peer_channels"]
         channel = channels.get(src)
@@ -329,13 +353,32 @@ class CyclosaEnclave(Enclave):
         self.trusted["forwards"][handle] = {
             "src": src,
             "token": record["token"],
+            "tp": record.get("tp"),
         }
         self._evict_stale("forwards")
-        sealed_for_engine = engine.seal(
-            {"query": record["query"], "meta": record.get("meta") or {}},
-            rng=self._rng)
+        engine_record: Dict[str, Any] = {
+            "query": record["query"], "meta": record.get("meta") or {}}
+        if onward_span_id is not None:
+            incoming = TraceContext.from_traceparent(record.get("tp"))
+            if incoming is not None:
+                engine_record["tp"] = (
+                    incoming.child(onward_span_id).to_traceparent())
+        sealed_for_engine = engine.seal(engine_record, rng=self._rng)
         self.charge_crypto(len(sealed_for_engine), operations=1)
         return handle, sealed_for_engine
+
+    @ecall
+    def forward_trace_context(self, handle: int) -> Optional[str]:
+        """The traceparent that arrived inside forward *handle*'s record.
+
+        Lets the untrusted host attach its relay spans to the right
+        parent without ever seeing the record's query or token — the
+        trace context is the only field that crosses this gate.
+        """
+        forward = self.trusted["forwards"].get(handle)
+        if forward is None:
+            return None
+        return forward.get("tp")
 
     @ecall
     def wrap_relay_response(self, handle: int, sealed_engine_response: bytes

@@ -34,7 +34,9 @@ from repro.core.sensitivity import (
 from repro.gossip.bootstrap_repo import PublicRepository
 from repro.gossip.peer_sampling import PeerSamplingService
 from repro.net.transport import Network, NetNode, RequestContext
-from repro.obs import OBS
+from repro.obs import OBS, remote_context
+from repro.obs.distributed import (TraceContext, close_remote_span,
+                                   open_remote_span)
 from repro.net.tls import SecureChannelManager, SgxAuthenticator, SignatureAuthenticator
 from repro.sgx.attestation import IntelAttestationService, MeasurementPolicy
 from repro.sgx.enclave import EnclaveHost
@@ -79,6 +81,14 @@ class ProtectedSearch:
     trace_root: Optional[Any] = None
     #: The open ``engine`` stage span (real record in flight).
     engine_span: Optional[Any] = None
+    #: Distributed tracing: relay -> (path index, reserved span id of
+    #: that leg's ``path`` span). The same span id is embedded (as the
+    #: parent) in the sealed record bound for that relay.
+    path_info: Dict[str, Any] = field(default_factory=dict)
+    #: Open per-leg ``path`` spans, keyed by path index.
+    path_spans: Dict[int, Any] = field(default_factory=dict)
+    #: Next fan-out leg number — retries continue numbering past k.
+    next_path: int = 0
 
 
 class CyclosaNode(NetNode):
@@ -299,12 +309,35 @@ class CyclosaNode(NetNode):
         search.k = min(search.k, k)
         tracer = OBS.tracer if OBS.enabled else None
         fake_span = None
+        trace_contexts = None
+        root_ctx = None
         if tracer is not None and search.trace_root is not None:
             fake_span = tracer.start_span("fake_generation",
                                           parent=search.trace_root)
-        batch = self.enclave.build_protected_batch(
-            search.query, search.k, relays[: search.k + 1],
-            true_user=self.user_id)
+            # One leg per relay: reserve the span id of the leg's
+            # "path" span now, so the enclave can seal a context whose
+            # parent is that span — the relay's spans then attach in
+            # the right place without anything crossing the wire in
+            # plain text.
+            root = search.trace_root
+            trace_contexts = {}
+            for relay in relays[: search.k + 1]:
+                path = search.next_path
+                search.next_path += 1
+                leg_id = tracer.reserve_span_id()
+                search.path_info[relay] = (path, leg_id)
+                trace_contexts[relay] = TraceContext(
+                    root.trace_id, leg_id, path).to_traceparent()
+            root_ctx = TraceContext(root.trace_id, root.span_id, 0)
+        if root_ctx is not None:
+            with remote_context(self.address, root_ctx):
+                batch = self.enclave.build_protected_batch(
+                    search.query, search.k, relays[: search.k + 1],
+                    true_user=self.user_id, trace_contexts=trace_contexts)
+        else:
+            batch = self.enclave.build_protected_batch(
+                search.query, search.k, relays[: search.k + 1],
+                true_user=self.user_id)
         self.stats.fakes_sent += max(0, len(batch) - 1)
         # Enclave crypto cost + per-record client overhead stagger the
         # sends — this serialization is why latency grows with k (Fig 8b).
@@ -340,6 +373,20 @@ class CyclosaNode(NetNode):
                      sealed: bytes, is_real: bool) -> None:
         if search.done:
             return
+        if OBS.enabled and search.trace_root is not None:
+            info = search.path_info.get(relay)
+            if info is not None and info[0] not in search.path_spans:
+                # The leg's "path" span: from the record leaving the
+                # extension until its response (or timeout) returns.
+                # Its id was reserved in _dispatch and is the parent
+                # the relay's spans join to.
+                path, leg_id = info
+                root = search.trace_root
+                search.path_spans[path] = open_remote_span(
+                    OBS.tracer, "path",
+                    TraceContext(root.trace_id, root.span_id, path),
+                    node=self.address, span_id=leg_id,
+                    attributes={"relay": relay})
         if (is_real and OBS.enabled and search.trace_root is not None
                 and search.engine_span is None):
             # The "engine" stage: the real record's round trip through
@@ -361,12 +408,37 @@ class CyclosaNode(NetNode):
 
     # -- responses ---------------------------------------------------------
 
+    def _close_path_span(self, search: ProtectedSearch, relay: str,
+                         timed_out: bool = False) -> None:
+        """End the fan-out leg's ``path`` span (response or timeout)."""
+        info = search.path_info.get(relay)
+        if info is None:
+            return
+        span = search.path_spans.pop(info[0], None)
+        if span is None or span.finished:
+            return
+        if timed_out:
+            span.set_attribute("timeout", True)
+        OBS.tracer.end_span(span)
+
     def _on_relay_response(self, search: ProtectedSearch, relay: str,
                            payload: Any) -> None:
         if not isinstance(payload, (bytes, bytearray)):
             return
+        leg_ctx = None
+        if OBS.enabled:
+            self._close_path_span(search, relay)
+            info = search.path_info.get(relay)
+            if info is not None and search.trace_root is not None:
+                leg_ctx = TraceContext(search.trace_root.trace_id,
+                                       info[1], info[0])
         meter_before = self.host.meter.total
-        result = self.enclave.open_relay_response(relay, bytes(payload))
+        if leg_ctx is not None:
+            with remote_context(self.address, leg_ctx):
+                result = self.enclave.open_relay_response(
+                    relay, bytes(payload))
+        else:
+            result = self.enclave.open_relay_response(relay, bytes(payload))
         filtering_cost = self.host.meter.total - meter_before
         if result is None:
             # fake-query response or undecodable: dropped in-enclave
@@ -399,6 +471,8 @@ class CyclosaNode(NetNode):
     def _on_relay_timeout(self, search: ProtectedSearch, relay: str,
                           is_real: bool) -> None:
         self._blacklist(relay)
+        if OBS.enabled:
+            self._close_path_span(search, relay, timed_out=True)
         if not is_real or search.done:
             return
         if OBS.enabled:
@@ -424,8 +498,19 @@ class CyclosaNode(NetNode):
                 if not search.done and search.retries_left <= 0:
                     self._finish(search, status="relay-failure", hits=[])
                 return
+            traceparent = None
+            if OBS.enabled and search.trace_root is not None:
+                # The retry is a fresh fan-out leg: new path number,
+                # new reserved "path" span id, same trace.
+                root = search.trace_root
+                path = search.next_path
+                search.next_path += 1
+                leg_id = OBS.tracer.reserve_span_id()
+                search.path_info[ready[0]] = (path, leg_id)
+                traceparent = TraceContext(
+                    root.trace_id, leg_id, path).to_traceparent()
             token, sealed = self.enclave.rebuild_real(
-                search.real_token, ready[0])
+                search.real_token, ready[0], traceparent=traceparent)
             search.real_token = token
             cost = self.host.meter.take()
             self.network.simulator.schedule(
@@ -485,21 +570,45 @@ class CyclosaNode(NetNode):
         payload = ctx.request.payload
         if not isinstance(payload, (bytes, bytearray)):
             return
-        unwrapped = self.enclave.unwrap_forward(ctx.request.src, bytes(payload))
+        tracer = OBS.tracer if OBS.enabled else None
+        # Reserve the id of this hop's "relay.forward" span up front:
+        # the enclave re-parents the propagated context onto it inside
+        # the engine-bound record, so the engine's span attaches here.
+        onward_id = tracer.reserve_span_id() if tracer is not None else None
+        unwrapped = self.enclave.unwrap_forward(
+            ctx.request.src, bytes(payload), onward_span_id=onward_id)
         if unwrapped is None:
             return  # unauthenticated or tampered: a Byzantine peer learns nothing
         handle, sealed_for_engine = unwrapped
         self.stats.relayed += 1
-        if OBS.enabled:
+        trace = None
+        if tracer is not None:
             OBS.registry.counter("cyclosa_core_relayed_total",
                                  "records forwarded on behalf of peers").inc()
+            # Read the propagated context back out of the enclave
+            # *before* draining the meter, so the gate's cost folds
+            # into this forward's modelled delay like the others.
+            incoming = TraceContext.from_traceparent(
+                self.enclave.forward_trace_context(handle))
+            if incoming is not None:
+                fwd_span = open_remote_span(
+                    tracer, "relay.forward", incoming,
+                    node=self.address, span_id=onward_id)
+                trace = (incoming, fwd_span)
         cost = self.host.meter.take()
+        if trace is not None:
+            # The in-enclave unwrap/re-seal work, as its own child.
+            unwrap_span = open_remote_span(
+                tracer, "relay.unwrap", trace[0].child(onward_id),
+                node=self.address)
+            close_remote_span(OBS.router, self.address, unwrap_span,
+                              end_time=unwrap_span.start + cost)
 
         def forward_to_engine() -> None:
             self.request(
                 self.services.engine_address, sealed_for_engine,
                 on_reply=lambda response: self._relay_engine_reply(
-                    ctx, handle, response),
+                    ctx, handle, response, trace=trace),
                 timeout=60.0,
                 size_bytes=len(sealed_for_engine),
                 kind="searchtls")
@@ -507,13 +616,31 @@ class CyclosaNode(NetNode):
         self.network.simulator.schedule(cost, forward_to_engine)
 
     def _relay_engine_reply(self, ctx: RequestContext, handle: int,
-                            response: Any) -> None:
+                            response: Any, trace=None) -> None:
         if not isinstance(response, (bytes, bytearray)):
             return
-        wrapped = self.enclave.wrap_relay_response(handle, bytes(response))
+        if trace is not None and OBS.enabled:
+            incoming, fwd_span = trace
+            with remote_context(self.address,
+                                incoming.child(fwd_span.span_id)):
+                wrapped = self.enclave.wrap_relay_response(
+                    handle, bytes(response))
+        else:
+            wrapped = self.enclave.wrap_relay_response(handle, bytes(response))
         if wrapped is None:
             return
         _src, sealed = wrapped
         cost = self.host.meter.take()
+        if trace is not None and OBS.enabled:
+            incoming, fwd_span = trace
+            respond_span = open_remote_span(
+                OBS.tracer, "relay.respond",
+                incoming.child(fwd_span.span_id), node=self.address)
+            close_remote_span(OBS.router, self.address, respond_span,
+                              end_time=respond_span.start + cost)
+            # The forward span covers the full relay residency: from
+            # unwrap to the moment the re-sealed answer leaves.
+            close_remote_span(OBS.router, self.address, fwd_span,
+                              end_time=respond_span.start + cost)
         self.network.simulator.schedule(
             cost, lambda: ctx.respond(sealed, size_bytes=len(sealed)))

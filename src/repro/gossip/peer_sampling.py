@@ -120,8 +120,26 @@ class PeerSamplingService:
                     OBS.registry.counter(
                         "cyclosa_gossip_rounds_total",
                         "gossip rounds initiated", mode="push").inc()
+                    span = OBS.tracer.start_span(
+                        "gossip.exchange",
+                        attributes={"node": self.address, "peer": peer,
+                                    "mode": "push",
+                                    "descriptors": len(payload)})
+                    OBS.tracer.end_span(span)
+                    OBS.router.record(self.address, span)
                 self._schedule_next()
                 return
+
+            exchange_span = None
+
+            def _close_exchange(outcome: str) -> None:
+                if exchange_span is not None:
+                    exchange_span.set_attribute("outcome", outcome)
+                    OBS.tracer.end_span(exchange_span)
+                    # Mirror into this node's sink: gossip exchanges
+                    # appear in assembled deployment timelines next to
+                    # the node's relay spans.
+                    OBS.router.record(self.address, exchange_span)
 
             def on_reply(response) -> None:
                 received = [
@@ -136,6 +154,7 @@ class PeerSamplingService:
                     OBS.registry.counter(
                         "cyclosa_gossip_view_exchanges_total",
                         "completed push-pull view exchanges").inc()
+                    _close_exchange("merged")
 
             def on_timeout() -> None:
                 # Unresponsive peer: drop it — the self-healing step.
@@ -144,11 +163,17 @@ class PeerSamplingService:
                     OBS.registry.counter(
                         "cyclosa_gossip_peer_timeouts_total",
                         "gossip peers dropped for unresponsiveness").inc()
+                    _close_exchange("timeout")
 
             if OBS.enabled:
                 OBS.registry.counter(
                     "cyclosa_gossip_rounds_total",
                     "gossip rounds initiated", mode="push_pull").inc()
+                exchange_span = OBS.tracer.start_span(
+                    "gossip.exchange",
+                    attributes={"node": self.address, "peer": peer,
+                                "mode": "push_pull",
+                                "descriptors": len(payload)})
 
             self._node.request(
                 peer, payload, on_reply, timeout=4 * self.interval,

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
+from repro.obs import OBS
+
 
 @dataclass
 class ChurnEvent:
@@ -66,6 +68,15 @@ class ChurnProcess:
         return scheduled
 
     def _depart(self, victim, style: str) -> None:
+        span = None
+        if OBS.enabled:
+            OBS.registry.counter(
+                "cyclosa_churn_departures_total",
+                "Nodes removed from the overlay by churn injection.",
+                style=style).inc()
+            span = OBS.tracer.start_span(
+                "churn.departure",
+                attributes={"node": victim.address, "style": style})
         pss = getattr(victim, "pss", None)
         if pss is not None:
             pss.stop()
@@ -74,3 +85,9 @@ class ChurnProcess:
         self.network.unregister(victim.address)
         if self.on_depart is not None:
             self.on_depart(victim.address)
+        if span is not None:
+            OBS.tracer.end_span(span)
+            # Mirror into the departing node's own sink so the event
+            # shows up next to that node's relay spans in assembled
+            # deployment timelines.
+            OBS.router.record(victim.address, span)

@@ -33,14 +33,24 @@ Usage::
 
 from __future__ import annotations
 
+from contextlib import contextmanager as _contextmanager
 from typing import Optional
 
-from repro.obs import breakdown, clock, export, metrics, trace
+from repro.obs import (audit, breakdown, clock, criticalpath, distributed,
+                       export, metrics, trace)
+from repro.obs.audit import AuditReport, AuditViolation, run_telemetry_audit
 from repro.obs.breakdown import (PIPELINE_STAGES, format_breakdown,
                                  stage_breakdown)
 from repro.obs.clock import Clock, ManualClock, SimulatedClock, WallClock
-from repro.obs.export import (parse_prometheus, parse_trace_jsonl,
-                              prometheus_snapshot, trace_to_jsonl)
+from repro.obs.criticalpath import (CriticalPathReport, critical_path,
+                                    find_stragglers, format_report,
+                                    relay_latency_summaries)
+from repro.obs.distributed import (AssembledTrace, SpanRouter, TraceContext,
+                                   assemble, assemble_all, query_hash_bucket,
+                                   trace_sources)
+from repro.obs.export import (chrome_trace, parse_prometheus,
+                              parse_trace_jsonl, prometheus_snapshot,
+                              trace_to_jsonl)
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry)
 from repro.obs.trace import NullSink, Span, Tracer, TraceSink
 
@@ -48,11 +58,16 @@ from repro.obs.trace import NullSink, Span, Tracer, TraceSink
 class ObsState:
     """The process-global observability switchboard.
 
-    ``enabled`` is the only thing hot paths read; ``tracer`` and
-    ``registry`` are only dereferenced behind that guard.
+    ``enabled`` is the only thing hot paths read; ``tracer``,
+    ``registry``, ``router`` and ``remote`` are only dereferenced
+    behind that guard. ``router`` holds the per-node span sinks of
+    distributed tracing; ``remote`` is the propagated
+    ``(node, TraceContext)`` the sgx layer tags ecall/ocall spans
+    with while an enclave call runs on a context's behalf (see
+    :func:`remote_context`).
     """
 
-    __slots__ = ("enabled", "tracer", "registry")
+    __slots__ = ("enabled", "tracer", "registry", "router", "remote")
 
     def __init__(self) -> None:
         self.enabled = False
@@ -61,6 +76,8 @@ class ObsState:
         # not accumulated.
         self.tracer = Tracer(clock=WallClock(), sink=NullSink())
         self.registry = MetricsRegistry()
+        self.router = SpanRouter()
+        self.remote = None
 
 
 #: The singleton every instrumented module imports.
@@ -91,17 +108,51 @@ def enable(simulator=None, *, trace_capacity: int = trace.DEFAULT_SINK_CAPACITY,
     else:
         OBS.tracer.clock = source
     if fresh:
-        OBS.registry = MetricsRegistry()
+        # Counters reset per measured run, but pull-based collectors
+        # (text-cache gauges, wiretap exporters, ...) are process-level
+        # registrations — carry them into the fresh registry so
+        # ``repro obs --format prom`` never silently drops a family.
+        replacement = MetricsRegistry()
+        for collector in OBS.registry.collectors():
+            replacement.register_collector(collector)
+        OBS.registry = replacement
+        OBS.router = SpanRouter()
+        OBS.remote = None
     OBS.enabled = True
     return OBS
 
 
 def disable(*, reset: bool = False) -> None:
-    """Turn instrumentation off (and optionally drop collected data)."""
+    """Turn instrumentation off (and optionally drop collected data).
+
+    ``reset=True`` drops *everything*, collectors included — it is the
+    test-hygiene teardown, not the between-runs reset (that is
+    ``enable(fresh=True)``, which keeps collectors).
+    """
     OBS.enabled = False
     if reset:
         OBS.tracer = Tracer(clock=WallClock(), sink=NullSink())
         OBS.registry = MetricsRegistry()
+        OBS.router = SpanRouter()
+        OBS.remote = None
+
+
+@_contextmanager
+def remote_context(node: str, ctx):
+    """Tag enclave crossings made on behalf of a propagated context.
+
+    While active, :mod:`repro.sgx` attributes ecall/ocall spans to
+    *node* with *ctx*'s trace id and path — that is how enclave
+    transitions show up inside the distributed trace instead of as
+    anonymous local work. No-op overhead when obs is disabled (callers
+    guard on ``OBS.enabled``).
+    """
+    previous = OBS.remote
+    OBS.remote = (node, ctx)
+    try:
+        yield
+    finally:
+        OBS.remote = previous
 
 
 def is_enabled() -> bool:
@@ -124,9 +175,13 @@ __all__ = [
     "is_enabled",
     "get_tracer",
     "get_registry",
+    "remote_context",
     # submodules
+    "audit",
     "breakdown",
     "clock",
+    "criticalpath",
+    "distributed",
     "export",
     "metrics",
     "trace",
@@ -150,4 +205,23 @@ __all__ = [
     "parse_trace_jsonl",
     "prometheus_snapshot",
     "parse_prometheus",
+    "chrome_trace",
+    # distributed tracing
+    "TraceContext",
+    "SpanRouter",
+    "AssembledTrace",
+    "assemble",
+    "assemble_all",
+    "trace_sources",
+    "query_hash_bucket",
+    # critical path
+    "CriticalPathReport",
+    "critical_path",
+    "format_report",
+    "relay_latency_summaries",
+    "find_stragglers",
+    # telemetry audit
+    "AuditReport",
+    "AuditViolation",
+    "run_telemetry_audit",
 ]

@@ -1,0 +1,195 @@
+"""Critical-path analysis over assembled distributed traces.
+
+Answers the question Fig 8's aggregates cannot: *which relay, and
+which stage on it, bounds this search's end-to-end latency?* The paper
+argues the k+1 fan-out costs little beyond one relay round trip
+(§V-C); the critical path makes that claim checkable span-by-span, and
+the per-relay percentiles feed the straggler detection that §VI-b's
+blacklisting acts on.
+
+Algorithm (the usual backward sweep over a span tree): starting from
+the trace root's end, repeatedly charge the tail to the latest-ending
+child that starts before the cursor, recurse into that child, and move
+the cursor to its start. Time no child explains is the span's *self
+time* — for a ``relay.forward`` span that is exactly the network
+flight to and from the engine plus queueing, which is why the report
+separates it out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.distributed import AssembledTrace
+from repro.obs.trace import Span
+
+_EPS = 1e-12
+
+#: Span names whose ``node`` attribute can name the bounding relay.
+_RELAY_SPANS = ("relay.forward", "relay.unwrap", "relay.respond")
+
+
+@dataclass
+class Segment:
+    """One critical-path entry: a span and the time only it explains."""
+
+    span: Span
+    self_time: float
+    depth: int = 0
+
+    @property
+    def node(self) -> str:
+        return str(self.span.attributes.get("node", "local"))
+
+
+@dataclass
+class CriticalPathReport:
+    """The critical path of one assembled trace."""
+
+    trace_id: str
+    total: float
+    segments: List[Segment] = field(default_factory=list)
+    #: The relay on the critical path — the peer that bounded this
+    #: search's latency (the real query's relay, unless a retry moved
+    #: the path).
+    bounding_relay: Optional[str] = None
+    #: Fan-out leg -> client-observed round-trip seconds (``path``
+    #: span durations); fakes included, which is what exposes a
+    #: straggler even when it only carried a fake.
+    path_latencies: Dict[int, float] = field(default_factory=dict)
+    #: The leg with the largest round trip and its relay.
+    slowest_path: Optional[int] = None
+    slowest_relay: Optional[str] = None
+
+
+def critical_path(trace: AssembledTrace) -> CriticalPathReport:
+    """Compute the critical path of *trace* (must have a root)."""
+    root = trace.root
+    if root is None or not root.finished:
+        return CriticalPathReport(trace_id=trace.trace_id, total=0.0)
+    report = CriticalPathReport(trace_id=trace.trace_id,
+                                total=root.duration)
+    _sweep(trace, root, root.end, 0, report.segments)
+
+    for segment in report.segments:
+        if report.bounding_relay is None and segment.span.name in _RELAY_SPANS:
+            report.bounding_relay = segment.node
+
+    for span in trace.spans:
+        if span.name != "path":
+            continue
+        path = span.attributes.get("path")
+        if not isinstance(path, int):
+            continue
+        report.path_latencies[path] = max(
+            span.duration, report.path_latencies.get(path, 0.0))
+        if (report.slowest_path is None
+                or span.duration >= report.path_latencies.get(
+                    report.slowest_path, 0.0)):
+            report.slowest_path = path
+            report.slowest_relay = span.attributes.get("relay")
+    return report
+
+
+def _sweep(trace: AssembledTrace, span: Span, upto: float, depth: int,
+           segments: List[Segment]) -> None:
+    """Backward sweep: charge ``(span.start, upto)`` to children, then
+    append *span* with whatever time was left unexplained."""
+    cursor = min(span.end, upto)
+    window_start = span.start
+    children = [c for c in trace.children(span) if c.finished]
+    picked: List[Span] = []
+    covered = 0.0
+    while True:
+        best: Optional[Span] = None
+        for child in children:
+            if child.start >= cursor - _EPS:
+                continue
+            if best is None or child.end > best.end or (
+                    child.end == best.end and child.start > best.start):
+                best = child
+        if best is None:
+            break
+        covered += max(0.0, min(best.end, cursor) - best.start)
+        picked.append(best)
+        cursor = max(window_start, best.start)
+        children = [c for c in children if c is not best]
+        if cursor <= window_start + _EPS:
+            break
+    self_time = max(0.0, (min(span.end, upto) - span.start) - covered)
+    segments.append(Segment(span=span, self_time=self_time, depth=depth))
+    for child in reversed(picked):  # chronological order
+        _sweep(trace, child, min(child.end, upto), depth + 1, segments)
+
+
+def format_report(report: CriticalPathReport) -> str:
+    """Render the critical path the way ``repro obs --format critical``
+    prints it."""
+    if not report.segments:
+        return "(no finished root span — was the search traced?)"
+    total = report.total or 1.0
+    header = (f"critical path for {report.trace_id} "
+              f"({report.total * 1000:.3f} ms end-to-end):")
+    lines = [header]
+    for segment in report.segments:
+        share = 100.0 * segment.self_time / total
+        indent = "  " * (segment.depth + 1)
+        path = segment.span.attributes.get("path")
+        path_note = f" path={path}" if isinstance(path, int) else ""
+        lines.append(
+            f"{indent}{segment.span.name:<20} [{segment.node}]"
+            f"{path_note}  self {segment.self_time * 1000:8.3f} ms"
+            f"  ({share:5.1f}%)")
+    if report.bounding_relay is not None:
+        lines.append(f"bounding relay : {report.bounding_relay}")
+    if report.slowest_path is not None:
+        latency = report.path_latencies.get(report.slowest_path, 0.0)
+        via = (f" via {report.slowest_relay}"
+               if report.slowest_relay else "")
+        lines.append(
+            f"slowest leg    : path {report.slowest_path}{via} "
+            f"({latency * 1000:.3f} ms round trip)")
+    return "\n".join(lines)
+
+
+# -- fleet-wide straggler detection --------------------------------------
+
+
+def relay_latency_summaries(spans, span_name: str = "relay.forward"):
+    """Per-relay latency summaries over any span iterable.
+
+    Returns ``{node: LatencySummary}`` (see
+    :func:`repro.metrics.latencystats.summarize`), usually fed with
+    ``router.all_spans()`` so every relay's service-time distribution
+    is visible — the input §VI-b blacklisting policies want.
+    """
+    from repro.metrics.latencystats import summarize  # lazy: no cycle
+
+    durations: Dict[str, List[float]] = {}
+    for span in spans:
+        if span.name != span_name or not span.finished:
+            continue
+        node = str(span.attributes.get("node", "local"))
+        durations.setdefault(node, []).append(span.duration)
+    return {node: summarize(values)
+            for node, values in sorted(durations.items())}
+
+
+def find_stragglers(summaries, factor: float = 2.0,
+                    quantile_attr: str = "p90") -> List[str]:
+    """Relays whose tail latency exceeds *factor* x the fleet median.
+
+    The return value is a candidate blacklist: §VI-b drops peers that
+    fail to answer in time, and a persistent straggler is the peer
+    most likely to cross that timeout next.
+    """
+    if not summaries:
+        return []
+    medians = sorted(summary.median for summary in summaries.values())
+    fleet_median = medians[len(medians) // 2]
+    if fleet_median <= 0.0:
+        return []
+    return sorted(
+        node for node, summary in summaries.items()
+        if getattr(summary, quantile_attr, 0.0) > factor * fleet_median)

@@ -61,6 +61,76 @@ def parse_trace_jsonl(text: str) -> List[Span]:
     return spans
 
 
+# -- Chrome trace-event format -----------------------------------------
+
+
+def chrome_trace(spans: Iterable[Span], trace_id: Optional[str] = None) -> str:
+    """Render spans as Chrome trace-event JSON (``chrome://tracing``,
+    Perfetto, speedscope).
+
+    Layout decisions:
+
+    - every emitting node becomes a *process* (``pid``), named via
+      ``process_name`` metadata events — relays line up as parallel
+      swimlanes;
+    - within a node, the fan-out leg (``path`` attribute) becomes the
+      *thread* (``tid``), so the k+1 legs stack instead of overlap;
+    - spans are complete-events (``ph": "X"``) with microsecond
+      ``ts``/``dur`` (simulated seconds scale cleanly).
+
+    Duplicate span ids (one span present in two sinks) are emitted
+    once; output is deterministic (sorted events, sorted keys) so
+    seeded runs diff cleanly.
+    """
+    nodes: List[str] = []
+    deduped: List[Span] = []
+    seen_ids = set()
+    for span in spans:
+        if not span.finished or span.span_id in seen_ids:
+            continue
+        if trace_id is not None and span.trace_id != trace_id:
+            continue
+        seen_ids.add(span.span_id)
+        deduped.append(span)
+        node = str(span.attributes.get("node", "local"))
+        if node not in nodes:
+            nodes.append(node)
+    nodes.sort()
+    pids = {node: index for index, node in enumerate(nodes)}
+
+    events: List[dict] = []
+    for node in nodes:
+        events.append({
+            "args": {"name": node},
+            "name": "process_name",
+            "ph": "M",
+            "pid": pids[node],
+            "tid": 0,
+        })
+    for span in deduped:
+        node = str(span.attributes.get("node", "local"))
+        path = span.attributes.get("path")
+        args = {key: value for key, value in sorted(span.attributes.items())}
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args["trace_id"] = span.trace_id
+        events.append({
+            "args": args,
+            "cat": span.trace_id,
+            "dur": round(span.duration * 1e6, 3),
+            "name": span.name,
+            "ph": "X",
+            "pid": pids[node],
+            "tid": path if isinstance(path, int) else 0,
+            "ts": round(span.start * 1e6, 3),
+        })
+    events.sort(key=lambda e: (e["ph"] != "M", e.get("ts", 0.0),
+                               e["pid"], e["tid"], e["name"]))
+    return json.dumps({"displayTimeUnit": "ms", "traceEvents": events},
+                      sort_keys=True, indent=2)
+
+
 # -- metrics -----------------------------------------------------------
 
 

@@ -210,6 +210,16 @@ class MetricsRegistry:
         if fn not in self._collectors:
             self._collectors.append(fn)
 
+    def collectors(self) -> List[Callable[["MetricsRegistry"], None]]:
+        """The registered pull hooks, in registration order.
+
+        ``obs.enable(fresh=True)`` carries these into the replacement
+        registry: a collector registration is a statement about the
+        *process* ("this cache exports gauges"), not about one
+        measured run's counters.
+        """
+        return list(self._collectors)
+
     def collect(self) -> List[Metric]:
         """Every instrument, grouped by family name then labels.
 

@@ -149,6 +149,16 @@ class Tracer:
     def new_trace_id(self) -> str:
         return f"trace-{next(self._trace_ids):06d}"
 
+    def reserve_span_id(self) -> int:
+        """Allocate a span id without opening a span.
+
+        Distributed propagation needs the id *before* the span exists:
+        the enclave embeds ``parent_span_id`` in a sealed record, and
+        the matching span is only constructed once the record has been
+        unwrapped on the far side (:mod:`repro.obs.distributed`).
+        """
+        return next(self._span_ids)
+
     def start_span(self, name: str, parent: Optional[Span] = None,
                    trace_id: Optional[str] = None,
                    attributes: Optional[Dict[str, Any]] = None) -> Span:

@@ -34,6 +34,8 @@ from repro.net.latency import LatencyModel, LogNormalLatency
 from repro.net.transport import Network, NetNode, RequestContext
 from repro.net.tls import SecureChannelManager, SignatureAuthenticator
 from repro.obs import OBS
+from repro.obs.distributed import (TraceContext, close_remote_span,
+                                   open_remote_span, query_hash_bucket)
 from repro.searchengine.adversary import QueryLogTap
 from repro.searchengine.engine import SearchEngine
 from repro.searchengine.ratelimit import RateLimiter, RateLimitVerdict
@@ -85,16 +87,40 @@ class SearchEngineNode(NetNode):
         record = channel.open(ctx.request.payload)
         self._admit_and_answer(
             ctx, ctx.request.src, record["query"], record.get("meta") or {},
-            sealed_for=channel)
+            sealed_for=channel, traceparent=record.get("tp"))
+
+    def _emit_serve_span(self, traceparent: Optional[str], query: str,
+                         status: str, hits: int, delay: float) -> None:
+        """The engine-side span of a distributed trace.
+
+        The propagated context arrived inside the sealed record; the
+        span carries only a hash bucket of the query (never text) and
+        the same attribute keys whatever the record held, so an
+        observer of the telemetry cannot tell real from fake legs.
+        """
+        trace_ctx = TraceContext.from_traceparent(traceparent)
+        if trace_ctx is None:
+            return
+        span = open_remote_span(
+            OBS.tracer, "engine.serve", trace_ctx, node=self.address,
+            attributes={"status": status, "hits": hits,
+                        "query_bucket": query_hash_bucket(query)})
+        close_remote_span(OBS.router, self.address, span,
+                          end_time=span.start + delay)
 
     def _admit_and_answer(self, ctx: RequestContext, identity: str,
                           query: str, meta: Dict[str, Any],
-                          sealed_for) -> None:
+                          sealed_for, traceparent: Optional[str] = None
+                          ) -> None:
         now = self.network.simulator.now
         if self.rate_limiter is not None:
             verdict = self.rate_limiter.check(identity, now)
             if verdict is RateLimitVerdict.CAPTCHA:
                 response: Dict[str, Any] = {"status": "captcha", "hits": []}
+                if OBS.enabled:
+                    self._emit_serve_span(traceparent, query,
+                                          status="captcha", hits=0,
+                                          delay=0.005)
                 self._respond_after_delay(ctx, response, sealed_for,
                                           delay=0.005)
                 return
@@ -129,6 +155,8 @@ class SearchEngineNode(NetNode):
             span = OBS.tracer.start_span("engine_processing", attributes={
                 "identity": identity})
             OBS.tracer.end_span(span, end_time=span.start + delay)
+            self._emit_serve_span(traceparent, query, status="ok",
+                                  hits=len(response["hits"]), delay=delay)
         self._respond_after_delay(ctx, response, sealed_for, delay=delay)
 
     def _respond_after_delay(self, ctx: RequestContext, response: Dict[str, Any],

@@ -26,6 +26,7 @@ from typing import Any, Callable, Dict, Optional
 from repro.crypto.hashes import hkdf, hmac_sha256, sha256
 from repro.crypto.keys import IdentityKeyPair
 from repro.obs import OBS
+from repro.obs.distributed import close_remote_span, open_remote_span
 from repro.sgx.epc import EnclavePageCache
 from repro.sgx.errors import EnclaveError, EnclaveIsolationError
 
@@ -49,6 +50,23 @@ METER_CHARGE_BUCKETS = (1e-7, 1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4,
 _ECALL_MARK = "_repro_sgx_ecall"
 
 
+def _emit_gate_span(name: str, gate: str, remote, charged: float) -> None:
+    """Record one gate transition as a span of a distributed trace.
+
+    *remote* is the active ``OBS.remote`` tuple ``(node, TraceContext)``
+    set via :func:`repro.obs.remote_context` by whichever protocol step
+    is driving the enclave; *charged* is the simulated seconds this
+    gate added to the cost meter (crossings + EPC + any crypto inside),
+    which becomes the span's width. Attributes carry only the node,
+    fan-out path and gate name — never payload contents.
+    """
+    node, ctx = remote
+    span = open_remote_span(OBS.tracer, name, ctx, node=node,
+                            attributes={"gate": gate})
+    close_remote_span(OBS.router, node, span,
+                      end_time=span.start + max(0.0, charged))
+
+
 def ecall(fn: Callable) -> Callable:
     """Mark a method as a trusted entry point (an ``ecall``).
 
@@ -63,6 +81,8 @@ def ecall(fn: Callable) -> Callable:
     @functools.wraps(fn)
     def wrapper(self: "Enclave", *args: Any, **kwargs: Any) -> Any:
         self._check_alive()
+        remote = None
+        meter_before = 0.0
         if OBS.enabled:
             registry = OBS.registry
             registry.counter(
@@ -76,6 +96,9 @@ def ecall(fn: Callable) -> Callable:
                 "cyclosa_sgx_crossing_seconds_total",
                 "simulated seconds spent crossing the call gate").inc(
                     2 * CROSSING_COST)
+            remote = OBS.remote
+            if remote is not None:
+                meter_before = self._host.meter.total
         self._host.meter.charge(2 * CROSSING_COST)
         self._host.meter.charge(
             self._host.epc.access_cost(self._touched_bytes_per_call))
@@ -84,6 +107,9 @@ def ecall(fn: Callable) -> Callable:
             return fn(self, *args, **kwargs)
         finally:
             self._depth -= 1
+            if remote is not None and OBS.enabled:
+                _emit_gate_span("sgx.ecall", gate_name, remote,
+                                self._host.meter.total - meter_before)
 
     setattr(wrapper, _ECALL_MARK, True)
     return wrapper
@@ -208,6 +234,8 @@ class Enclave:
         if self._depth == 0:
             raise EnclaveError("ocall outside of trusted execution")
         handler = self._host.ocall_handler(name)
+        remote = None
+        meter_before = 0.0
         if OBS.enabled:
             registry = OBS.registry
             registry.counter(
@@ -221,12 +249,18 @@ class Enclave:
                 "cyclosa_sgx_crossing_seconds_total",
                 "simulated seconds spent crossing the call gate").inc(
                     2 * CROSSING_COST)
+            remote = OBS.remote
+            if remote is not None:
+                meter_before = self._host.meter.total
         self._host.meter.charge(2 * CROSSING_COST)
         self._depth -= 1  # untrusted code must not see trusted state
         try:
             return handler(*args, **kwargs)
         finally:
             self._depth += 1
+            if remote is not None and OBS.enabled:
+                _emit_gate_span("sgx.ocall", name, remote,
+                                self._host.meter.total - meter_before)
 
     # -- memory -------------------------------------------------------
 

@@ -57,6 +57,41 @@ class TestChurnProcess:
         with pytest.raises(ValueError):
             churn.schedule_departures([], start=0, duration=1, style="odd")
 
+    def test_departures_counted_and_spanned_when_observed(self):
+        from repro import obs
+
+        obs.disable(reset=True)
+        deployment = CyclosaNetwork.create(num_nodes=14, seed=23,
+                                           warmup_seconds=40,
+                                           observe=True)
+        try:
+            churn = ChurnProcess(deployment.network, deployment.rng,
+                                 repository=deployment.services.repository)
+            crash = deployment.nodes[10]
+            graceful = deployment.nodes[11]
+            now = deployment.simulator.now
+            churn.schedule_departures([crash], start=now + 1,
+                                      duration=1.0, style="crash")
+            churn.schedule_departures([graceful], start=now + 1,
+                                      duration=1.0, style="graceful")
+            deployment.run(5.0)
+
+            snapshot = obs.prometheus_snapshot(obs.OBS.registry)
+            assert 'cyclosa_churn_departures_total{style="crash"} 1' \
+                in snapshot
+            assert 'cyclosa_churn_departures_total{style="graceful"} 1' \
+                in snapshot
+            # each victim's own sink holds its departure span
+            for victim, style in ((crash, "crash"), (graceful, "graceful")):
+                spans = [s for s in obs.OBS.router.sink(victim.address)
+                         if s.name == "churn.departure"]
+                assert len(spans) == 1
+                assert spans[0].attributes == {"node": victim.address,
+                                               "style": style}
+                assert spans[0].finished
+        finally:
+            obs.disable(reset=True)
+
     def test_searches_survive_ongoing_churn(self, deployment):
         churn = ChurnProcess(deployment.network, deployment.rng,
                              repository=deployment.services.repository)

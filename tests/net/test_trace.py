@@ -84,3 +84,59 @@ class TestTrace:
                 a.send("b", "data", b"\x00" * size)
             sim.run()
         assert trace.sizes() == [10, 20, 30]
+
+    def test_wire_image_only_captured_on_request(self, setup):
+        sim, net, a, b = setup
+        with MessageTrace(net) as plain, \
+                MessageTrace(net, capture_plaintext=True) as deep:
+            a.send("b", "data", b"\xaa\xbb")
+            sim.run()
+        assert plain.records[0].wire_image is None
+        assert deep.records[0].wire_image == b"\xaa\xbb"
+
+    def test_wire_image_encodes_structured_payloads(self, setup):
+        sim, net, a, b = setup
+        with MessageTrace(net, capture_plaintext=True) as trace:
+            a.send("b", "data", {"question": "flu symptoms"})
+            sim.run()
+        image = trace.records[0].wire_image
+        assert isinstance(image, bytes) and b"flu symptoms" in image
+
+
+class TestTraceMetrics:
+    def test_wiretap_feeds_metrics_registry_when_enabled(self, setup):
+        from repro import obs
+
+        sim, net, a, b = setup
+        obs.disable(reset=True)
+        obs.enable(fresh=True)
+        try:
+            with MessageTrace(net):
+                a.send("b", "data", b"\x00" * 100)
+                a.send("b", "data", b"\x00" * 600)
+                a.send("b", "ctrl", b"\x00" * 8)
+                sim.run()
+            snapshot = obs.prometheus_snapshot(obs.OBS.registry)
+            assert 'cyclosa_net_traced_messages_total{kind="data"} 2' \
+                in snapshot
+            assert 'cyclosa_net_traced_messages_total{kind="ctrl"} 1' \
+                in snapshot
+            # byte histogram: the 100 B message is <= the 128 bucket,
+            # the 600 B one only lands in 768 and above
+            assert 'cyclosa_net_traced_message_bytes_bucket' \
+                '{kind="data",le="128"} 1' in snapshot
+            assert 'cyclosa_net_traced_message_bytes_bucket' \
+                '{kind="data",le="768"} 2' in snapshot
+        finally:
+            obs.disable(reset=True)
+
+    def test_wiretap_records_nothing_when_disabled(self, setup):
+        from repro import obs
+
+        sim, net, a, b = setup
+        obs.disable(reset=True)
+        with MessageTrace(net) as trace:
+            a.send("b", "data", b"\x00" * 100)
+            sim.run()
+        assert len(trace) == 1  # the tap itself still works
+        assert obs.prometheus_snapshot(obs.OBS.registry) == ""

@@ -1,0 +1,132 @@
+"""Critical-path analysis: synthetic trees with known self-times, the
+rendered report, and fleet-wide straggler detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs.criticalpath import (critical_path, find_stragglers,
+                                    format_report, relay_latency_summaries)
+from repro.obs.distributed import assemble
+from repro.obs.trace import Span
+
+pytestmark = pytest.mark.obs
+
+TRACE = "trace-000001"
+
+
+def _span(name, span_id, parent_id, start, end, **attributes):
+    return Span(name=name, trace_id=TRACE, span_id=span_id,
+                parent_id=parent_id, start=start, end=end,
+                attributes=attributes)
+
+
+def _synthetic_trace():
+    """root [0, 10] with two legs; leg 1 ends last (the critical one).
+
+    root
+    ├── path 0 [0, 4]  relay-a
+    │   └── relay.forward [1, 3] relay-a
+    └── path 1 [0, 9]  relay-b
+        └── relay.forward [2, 8] relay-b
+            └── engine.serve [3, 5] engine
+    """
+    spans = [
+        _span("search", 1, None, 0.0, 10.0, node="client"),
+        _span("path", 2, 1, 0.0, 4.0, node="client", path=0,
+              relay="relay-a"),
+        _span("relay.forward", 3, 2, 1.0, 3.0, node="relay-a", path=0),
+        _span("path", 4, 1, 0.0, 9.0, node="client", path=1,
+              relay="relay-b"),
+        _span("relay.forward", 5, 4, 2.0, 8.0, node="relay-b", path=1),
+        _span("engine.serve", 6, 5, 3.0, 5.0, node="engine", path=1),
+    ]
+    return assemble(TRACE, spans)
+
+
+def test_critical_path_charges_tail_to_latest_child():
+    report = critical_path(_synthetic_trace())
+    assert report.total == pytest.approx(10.0)
+    names = [seg.span.name for seg in report.segments]
+    # the sweep follows the latest-ending chain: root -> path 1 ->
+    # relay.forward on relay-b -> engine.serve; leg 0 never appears.
+    assert names == ["search", "path", "relay.forward", "engine.serve"]
+    by_name = {seg.span.name: seg for seg in report.segments}
+    assert by_name["search"].self_time == pytest.approx(1.0)  # [9, 10]
+    assert by_name["path"].self_time == pytest.approx(3.0)  # [0,2]+[8,9]
+    assert by_name["relay.forward"].self_time == pytest.approx(4.0)
+    assert by_name["engine.serve"].self_time == pytest.approx(2.0)
+    total_explained = sum(seg.self_time for seg in report.segments)
+    assert total_explained == pytest.approx(report.total)
+
+
+def test_critical_path_names_bounding_relay_and_slowest_leg():
+    report = critical_path(_synthetic_trace())
+    assert report.bounding_relay == "relay-b"
+    assert report.slowest_path == 1
+    assert report.slowest_relay == "relay-b"
+    assert report.path_latencies == {0: pytest.approx(4.0),
+                                     1: pytest.approx(9.0)}
+
+
+def test_critical_path_on_empty_trace():
+    report = critical_path(assemble(TRACE, []))
+    assert report.total == 0.0 and not report.segments
+    assert "no finished root span" in format_report(report)
+
+
+def test_format_report_renders_relay_and_leg_lines():
+    rendered = format_report(critical_path(_synthetic_trace()))
+    assert "critical path for trace-000001" in rendered
+    assert "bounding relay : relay-b" in rendered
+    assert "slowest leg    : path 1 via relay-b" in rendered
+    assert "[engine]" in rendered
+
+
+def test_relay_latency_summaries_groups_by_node():
+    spans = [
+        _span("relay.forward", 1, None, 0.0, 0.2, node="relay-a"),
+        _span("relay.forward", 2, None, 0.0, 0.4, node="relay-a"),
+        _span("relay.forward", 3, None, 0.0, 1.0, node="relay-b"),
+        _span("relay.unwrap", 4, None, 0.0, 9.0, node="relay-a"),  # ignored
+        Span("relay.forward", TRACE, 5, None, 0.0, None,
+             {"node": "relay-a"}),  # unfinished: ignored
+    ]
+    summaries = relay_latency_summaries(spans)
+    assert sorted(summaries) == ["relay-a", "relay-b"]
+    assert summaries["relay-a"].count == 2
+    assert summaries["relay-b"].maximum == pytest.approx(1.0)
+
+
+def test_find_stragglers_flags_tail_outliers():
+    fleet = {}
+    for index in range(5):
+        fleet[f"relay-{index}"] = relay_latency_summaries(
+            [_span("relay.forward", index, None, 0.0, 0.1,
+                   node=f"relay-{index}")])[f"relay-{index}"]
+    fleet["relay-slow"] = relay_latency_summaries(
+        [_span("relay.forward", 99, None, 0.0, 5.0,
+               node="relay-slow")])["relay-slow"]
+    assert find_stragglers(fleet) == ["relay-slow"]
+    assert find_stragglers({}) == []
+    # raise the bar far above the outlier: nothing flagged
+    assert find_stragglers(fleet, factor=100.0) == []
+
+
+def test_e2e_report_names_a_deployment_relay():
+    from repro.core.client import CyclosaNetwork
+
+    deployment = CyclosaNetwork.create(num_nodes=12, seed=11, observe=True)
+    result = deployment.node(0).search("critical path probe")
+    deployment.run(60.0)
+    trace = deployment.assembled_trace(result.trace_id)
+    report = critical_path(trace)
+    assert report.total > 0.0
+    addresses = {node.address for node in deployment.nodes}
+    assert report.bounding_relay in addresses
+    assert report.slowest_relay in addresses
+    assert sorted(report.path_latencies) == list(range(result.k + 1))
+
+    summaries = relay_latency_summaries(obs.OBS.router.all_spans())
+    assert summaries and set(summaries) <= addresses

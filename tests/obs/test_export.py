@@ -8,11 +8,11 @@ import math
 import pytest
 
 from repro.obs.clock import ManualClock
-from repro.obs.export import (parse_prometheus, parse_trace_jsonl,
-                              prometheus_snapshot, span_to_dict,
-                              trace_to_jsonl)
+from repro.obs.export import (chrome_trace, parse_prometheus,
+                              parse_trace_jsonl, prometheus_snapshot,
+                              span_to_dict, trace_to_jsonl)
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.trace import Tracer, TraceSink
+from repro.obs.trace import Span, Tracer, TraceSink
 
 pytestmark = pytest.mark.obs
 
@@ -45,6 +45,58 @@ def test_trace_jsonl_round_trip():
 def test_parse_trace_jsonl_skips_blank_lines():
     text = trace_to_jsonl(_sample_spans())
     assert len(parse_trace_jsonl("\n" + text + "\n\n")) == 2
+
+
+def _distributed_spans():
+    return [
+        Span("search", "trace-000001", 1, None, 0.0, 2.0,
+             {"node": "client"}),
+        Span("path", "trace-000001", 2, 1, 0.0, 1.5,
+             {"node": "client", "path": 1}),
+        Span("relay.forward", "trace-000001", 3, 2, 0.25, 1.25,
+             {"node": "relay-a", "path": 1}),
+    ]
+
+
+def test_chrome_trace_layout():
+    payload = json.loads(chrome_trace(_distributed_spans()))
+    assert payload["displayTimeUnit"] == "ms"
+    events = payload["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    complete = [e for e in events if e["ph"] == "X"]
+    # one process per node, metadata first
+    assert [e["args"]["name"] for e in meta] == ["client", "relay-a"]
+    assert events[:len(meta)] == meta
+    assert len(complete) == 3
+    by_name = {e["name"]: e for e in complete}
+    # microsecond scaling and leg-as-thread layout
+    assert by_name["relay.forward"]["ts"] == pytest.approx(0.25e6)
+    assert by_name["relay.forward"]["dur"] == pytest.approx(1.0e6)
+    assert by_name["relay.forward"]["tid"] == 1
+    assert by_name["search"]["tid"] == 0
+    assert by_name["search"]["pid"] != by_name["relay.forward"]["pid"]
+    assert by_name["path"]["args"]["parent_id"] == 1
+    assert by_name["path"]["cat"] == "trace-000001"
+
+
+def test_chrome_trace_dedupes_filters_and_skips_unfinished():
+    spans = _distributed_spans()
+    spans.append(spans[2])  # same span via a second sink
+    spans.append(Span("open", "trace-000001", 9, 1, 0.1, None, {}))
+    spans.append(Span("other", "trace-000002", 10, None, 0.0, 1.0, {}))
+    payload = json.loads(chrome_trace(spans, trace_id="trace-000001"))
+    names = [e["name"] for e in payload["traceEvents"] if e["ph"] == "X"]
+    assert sorted(names) == ["path", "relay.forward", "search"]
+
+
+def test_chrome_trace_is_deterministic():
+    assert chrome_trace(_distributed_spans()) == \
+        chrome_trace(_distributed_spans())
+
+
+def test_chrome_trace_empty_input():
+    payload = json.loads(chrome_trace([]))
+    assert payload["traceEvents"] == []
 
 
 def test_prometheus_snapshot_counters_and_gauges():
