@@ -13,6 +13,9 @@ Commands:
 - ``perf``                      — run the pipeline perf benches and
   write the ``BENCH_pipeline.json`` trajectory baseline (see
   ``docs/performance.md``).
+- ``lint [paths...]``           — run the trust-boundary / taint /
+  determinism / layering analyzer over ``src/`` (see
+  ``docs/static-analysis.md``).
 
 Examples::
 
@@ -22,6 +25,8 @@ Examples::
     python -m repro search --trace "flu symptoms treatment"
     python -m repro obs --format prom
     python -m repro perf --output BENCH_pipeline.json
+    python -m repro lint --baseline
+    python -m repro lint --format json src/repro/core
 """
 
 from __future__ import annotations
@@ -106,7 +111,9 @@ def _cmd_search(query: str, num_nodes: int, seed: int,
     deployment = CyclosaNetwork.create(num_nodes=num_nodes, seed=seed,
                                        config=config, observe=trace)
     result = deployment.node(0).search(query)
-    print(f"\nquery     : {query!r}")
+    # lint: allow(taint-print) -- echoing the user's own query to their
+    # own terminal; nothing wire- or adversary-visible.
+    print(f"\nquery     : {query!r}")  # lint: allow(taint-print)
     print(f"status    : {result.status}")
     print(f"fakes (k) : {result.k}")
     print(f"latency   : {result.latency:.3f} s (simulated)")
@@ -116,7 +123,9 @@ def _cmd_search(query: str, num_nodes: int, seed: int,
     print("\nengine observed:")
     for entry in deployment.engine_log[-(result.k + 1):]:
         marker = "fake" if entry.is_fake else "REAL"
-        print(f"  [{marker}] from {entry.identity}: {entry.text}")
+        # The demo's point: show the engine-side adversary view (real
+        # query hidden among fakes) on the local terminal.
+        print(f"  [{marker}] from {entry.identity}: {entry.text}")  # lint: allow(taint-print)
     if trace:
         _print_trace_report(result.trace_id)
     return 0 if result.ok else 1
@@ -125,9 +134,8 @@ def _cmd_search(query: str, num_nodes: int, seed: int,
 def _print_trace_report(trace_id: Optional[str]) -> None:
     """Per-stage breakdown + metrics snapshot of an enabled obs run."""
     from repro import obs
-    from repro.obs.breakdown import (format_breakdown, root_span,
-                                     stage_breakdown)
-    from repro.obs.export import prometheus_snapshot
+    from repro.obs import (format_breakdown, prometheus_snapshot,
+                           root_span, stage_breakdown)
 
     from repro.text.cache import install_metrics
 
@@ -166,10 +174,9 @@ def _cmd_obs(query: str, num_nodes: int, seed: int, fmt: str,
         return 0 if report.ok else 1
 
     result = deployment.node(0).search(query)
-    from repro.obs.breakdown import format_breakdown, root_span, \
-        stage_breakdown
-    from repro.obs.export import (chrome_trace, prometheus_snapshot,
-                                  trace_to_jsonl)
+    from repro.obs import (chrome_trace, format_breakdown,
+                           prometheus_snapshot, root_span,
+                           stage_breakdown, trace_to_jsonl)
 
     tracer = obs.get_tracer()
     spans = tracer.sink.spans if tracer is not None else []
@@ -198,7 +205,7 @@ def _cmd_obs(query: str, num_nodes: int, seed: int, fmt: str,
             print("(no trace id — was observability enabled?)")
             return 1
         assembled = deployment.assembled_trace(result.trace_id)
-        print(f"query  : {query!r}  (status {result.status}, "
+        print(f"query  : {query!r}  (status {result.status}, "  # lint: allow(taint-print) -- own terminal
               f"k={result.k}, seed {seed})")
         print(obs.format_report(obs.critical_path(assembled)))
         summaries = obs.relay_latency_summaries(obs.OBS.router.all_spans())
@@ -207,7 +214,7 @@ def _cmd_obs(query: str, num_nodes: int, seed: int, fmt: str,
             print("stragglers     : " + ", ".join(stragglers)
                   + "  (candidate §VI-b blacklist)")
     else:  # table
-        print(f"query  : {query!r}  (status {result.status}, "
+        print(f"query  : {query!r}  (status {result.status}, "  # lint: allow(taint-print) -- own terminal
               f"k={result.k}, seed {seed})")
         rows = stage_breakdown(spans, trace_id=result.trace_id)
         root = root_span(spans, trace_id=result.trace_id)
@@ -234,6 +241,58 @@ def _cmd_perf(args) -> int:
               file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_lint(args) -> int:
+    """Run the static analyzer; exit 1 on non-baselined findings."""
+    from pathlib import Path
+
+    from repro.lint import (default_root, findings_to_json, format_baseline,
+                            format_text, load_baseline, run_lint)
+    from repro.lint.baseline import DEFAULT_BASELINE_NAME
+
+    root = Path(args.root).resolve() if args.root else default_root()
+    paths = [Path(p) for p in args.paths] or None
+    findings = run_lint(root=root, paths=paths)
+
+    if args.write_baseline:
+        target = Path(args.baseline or DEFAULT_BASELINE_NAME)
+        target.write_text(format_baseline(findings), encoding="utf-8")
+        print(f"wrote {len(findings)} entr{'y' if len(findings) == 1 else 'ies'}"
+              f" to {target} (fill in the JUSTIFY comments)")
+        return 0
+
+    baseline = None
+    if args.baseline is not None or args.use_baseline:
+        baseline_path = Path(args.baseline or DEFAULT_BASELINE_NAME)
+        try:
+            baseline = load_baseline(baseline_path)
+        except FileNotFoundError:
+            print(f"baseline file not found: {baseline_path}",
+                  file=sys.stderr)
+            return 2
+
+    if baseline is not None:
+        fresh, grandfathered = baseline.apply(findings)
+    else:
+        fresh, grandfathered = list(findings), []
+
+    if args.format == "json":
+        print(findings_to_json(fresh))
+    else:
+        print(format_text(fresh))
+        if grandfathered:
+            print(f"({len(grandfathered)} baselined finding"
+                  f"{'s' if len(grandfathered) != 1 else ''} suppressed)")
+        if baseline is not None:
+            stale = baseline.stale_entries(findings)
+            if stale:
+                print(f"note: {len(stale)} stale baseline entr"
+                      f"{'ies' if len(stale) != 1 else 'y'} "
+                      "(fixed — remove from the baseline):")
+                for rule, path, _message in stale:
+                    print(f"  {rule}\t{path}")
+    return 1 if fresh else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -300,6 +359,26 @@ def build_parser() -> argparse.ArgumentParser:
     perf_parser.add_argument("--no-write", action="store_true",
                              help="print the report without writing the file")
 
+    lint_parser = subparsers.add_parser(
+        "lint", help="trust-boundary / taint / determinism / layering "
+                     "static analysis over src/ (docs/static-analysis.md)")
+    lint_parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: all of src/repro)")
+    lint_parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="text = human-readable findings, json = machine-readable")
+    lint_parser.add_argument(
+        "--baseline", nargs="?", const="", default=None, metavar="FILE",
+        help="suppress findings recorded in the baseline file "
+             "(default ./lint-baseline.txt when FILE is omitted)")
+    lint_parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings as a new baseline file and exit")
+    lint_parser.add_argument(
+        "--root", default=None,
+        help="source root to lint instead of the installed src/ tree")
+
     return parser
 
 
@@ -320,6 +399,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         run_audit=args.audit)
     if args.command == "perf":
         return _cmd_perf(args)
+    if args.command == "lint":
+        args.use_baseline = args.baseline is not None
+        if args.baseline == "":
+            args.baseline = None
+            args.use_baseline = True
+        return _cmd_lint(args)
     parser.print_help()
     return 0
 

@@ -32,7 +32,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.core.fake_queries import PastQueryTable
 from repro.net import wire
 from repro.net.tls import SecureChannel, TlsError
-from repro.obs.distributed import TraceContext
+from repro.obs import TraceContext
 from repro.sgx.enclave import Enclave, ecall
 
 #: Forward records are padded to a multiple of this envelope before

@@ -34,9 +34,8 @@ from repro.core.sensitivity import (
 from repro.gossip.bootstrap_repo import PublicRepository
 from repro.gossip.peer_sampling import PeerSamplingService
 from repro.net.transport import Network, NetNode, RequestContext
-from repro.obs import OBS, remote_context
-from repro.obs.distributed import (TraceContext, close_remote_span,
-                                   open_remote_span)
+from repro.obs import (OBS, TraceContext, close_remote_span,
+                       open_remote_span, remote_context)
 from repro.net.tls import SecureChannelManager, SgxAuthenticator, SignatureAuthenticator
 from repro.sgx.attestation import IntelAttestationService, MeasurementPolicy
 from repro.sgx.enclave import EnclaveHost

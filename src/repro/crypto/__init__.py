@@ -13,6 +13,9 @@ standard library's SHA-256:
 - :mod:`repro.crypto.rsa`    — RSA keygen / encrypt / sign (Miller-Rabin
   primes, deterministic-padding hybrid encryption for onion layers).
 - :mod:`repro.crypto.keys`   — key containers and identity key pairs.
+- :mod:`repro.crypto.rng`    — the one sanctioned system-entropy RNG
+  (everything else threads a seeded ``random.Random``; the
+  determinism checker in :mod:`repro.lint` enforces this).
 
 These are *simulation-grade* primitives: algorithmically faithful,
 constant-time-agnostic, and sized for test speed. They exist so the
@@ -24,6 +27,7 @@ from repro.crypto.aead import AeadKey, AeadError, seal, open_ as open_sealed
 from repro.crypto.dh import DhKeyPair, DhParams, derive_shared_key
 from repro.crypto.hashes import hkdf, hmac_sha256, sha256
 from repro.crypto.keys import IdentityKeyPair, SymmetricKey
+from repro.crypto.rng import system_rng
 from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, RsaError
 
 __all__ = [
@@ -42,4 +46,5 @@ __all__ = [
     "RsaKeyPair",
     "RsaPublicKey",
     "RsaError",
+    "system_rng",
 ]

@@ -1,0 +1,32 @@
+"""The one sanctioned source of nondeterministic randomness.
+
+Almost everything in this repository draws randomness from an
+explicitly seeded ``random.Random`` threaded through call chains —
+that is what makes the fig5–fig8 outputs byte-identical across runs
+and machines, and the determinism checker (:mod:`repro.lint`) bans
+system entropy everywhere else. Key generation is the exception: when
+a caller does *not* supply an rng, fresh key material must be
+unpredictable, which genuinely requires OS entropy.
+
+This module is the single whitelisted location for that pattern.
+:func:`system_rng` is what ``repro.crypto`` modules fall back to when
+no rng is threaded through; nothing outside ``repro.crypto`` should
+call it (simulation code must always thread a seeded rng instead, or
+the run stops reproducing).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+
+def system_rng() -> random.Random:
+    """A ``random.Random`` seeded from OS entropy.
+
+    Deliberately *not* ``random.SystemRandom``: the callers (prime
+    search, padding generation) only need an unpredictable seed, and a
+    seeded Mersenne Twister keeps the draw pattern identical to the
+    threaded-rng code path — only the seed differs.
+    """
+    return random.Random(int.from_bytes(os.urandom(16), "big"))

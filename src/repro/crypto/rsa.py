@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro.crypto.aead import AeadKey, open_ as aead_open, seal as aead_seal
 from repro.crypto.hashes import sha256
+from repro.crypto.rng import system_rng
 
 _SIG_PREFIX = b"repro.rsa.sig.v1:"
 _ENC_PREFIX = b"\x00\x02"  # marks a well-formed key-transport block
@@ -131,11 +132,14 @@ class RsaKeyPair:
 
     @classmethod
     def generate(cls, bits: int = 1024, rng=None) -> "RsaKeyPair":
-        """Generate a key pair with a *bits*-bit modulus."""
-        if rng is None:
-            import random
+        """Generate a key pair with a *bits*-bit modulus.
 
-            rng = random.Random(int.from_bytes(os.urandom(16), "big"))
+        Without an explicit *rng*, key material comes from the
+        sanctioned system-entropy helper — the one place the
+        determinism checker whitelists (see :mod:`repro.crypto.rng`).
+        """
+        if rng is None:
+            rng = system_rng()
         e = 65537
         while True:
             p = _random_prime(bits // 2, rng)

@@ -146,7 +146,7 @@ def run_cyclosa_breakdown(num_queries: int, queries: List[str], k: int = 3,
     metric deltas scoped to the query phase (warm-up excluded).
     """
     from repro import obs
-    from repro.obs.breakdown import PIPELINE_STAGES, stage_breakdown
+    from repro.obs import PIPELINE_STAGES, stage_breakdown
 
     deployment = CyclosaNetwork.create(num_nodes=num_nodes, seed=seed,
                                        observe=True)

@@ -1,0 +1,136 @@
+"""Baseline files and inline suppression pragmas.
+
+Two mechanisms keep ``repro lint`` actionable as the codebase grows:
+
+- **Baseline file** (``lint-baseline.txt`` at the repo root) — for
+  *grandfathered* findings: real rule hits that predate the rule (or
+  are sanctioned legacy) and are tracked until someone fixes them.
+  One tab-separated entry per line, ``rule<TAB>path<TAB>message``,
+  matched against :attr:`Finding.fingerprint` (no line numbers, so
+  entries survive unrelated edits). Every entry must carry a
+  justification in a ``#`` comment above it — the file is reviewed
+  like code.
+- **Inline pragma** — for *deliberate, permanent* exceptions where
+  the flagged behaviour is the feature (e.g. the CLI echoing the
+  local user's own query back to their own terminal). Append
+  ``# lint: allow(rule-id)`` — optionally several ids, comma
+  separated, and a reason after ``--`` — to the offending line::
+
+      print(f"query: {query!r}")  # lint: allow(taint-print) -- own tty
+
+Prefer the pragma when the code is right and the rule has a sanctioned
+exception; prefer the baseline when the code is wrong but not being
+fixed in this change. ``repro lint --write-baseline`` regenerates the
+file from the current findings (justifications then need filling in).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.lint.findings import Finding
+
+_PRAGMA = re.compile(r"#\s*lint:\s*allow\(([^)]*)\)")
+
+#: Default baseline filename, looked up at the analysis root's parent
+#: (the repo root, when the root is ``<repo>/src``).
+DEFAULT_BASELINE_NAME = "lint-baseline.txt"
+
+
+def scan_pragmas(source_lines: List[str]) -> Dict[int, Set[str]]:
+    """Map 1-based line numbers to the rule ids allowed on that line.
+
+    The special id ``*`` allows every rule on the line.
+    """
+    pragmas: Dict[int, Set[str]] = {}
+    for number, line in enumerate(source_lines, start=1):
+        match = _PRAGMA.search(line)
+        if match is None:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",")
+                 if part.strip()}
+        if rules:
+            pragmas[number] = rules
+    return pragmas
+
+
+def pragma_allows(pragmas: Dict[int, Set[str]], finding: Finding) -> bool:
+    rules = pragmas.get(finding.line)
+    return bool(rules) and (finding.rule in rules or "*" in rules)
+
+
+class Baseline:
+    """A parsed baseline file: a set of grandfathered fingerprints."""
+
+    def __init__(self, entries: Iterable[Tuple[str, str, str]] = (),
+                 path: Optional[Path] = None) -> None:
+        self.entries: Set[Tuple[str, str, str]] = set(entries)
+        self.path = path
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def matches(self, finding: Finding) -> bool:
+        return finding.fingerprint in self.entries
+
+    def apply(self, findings: Iterable[Finding]
+              ) -> Tuple[List[Finding], List[Finding]]:
+        """Split *findings* into (fresh, grandfathered)."""
+        fresh: List[Finding] = []
+        grandfathered: List[Finding] = []
+        for finding in findings:
+            (grandfathered if self.matches(finding)
+             else fresh).append(finding)
+        return fresh, grandfathered
+
+    def stale_entries(self, findings: Iterable[Finding]
+                      ) -> Set[Tuple[str, str, str]]:
+        """Baseline entries no longer matched by any finding — fixed
+        code whose entry should be deleted."""
+        live = {finding.fingerprint for finding in findings}
+        return self.entries - live
+
+
+class BaselineError(ValueError):
+    """Raised on malformed baseline lines."""
+
+
+def parse_baseline(text: str, path: Optional[Path] = None) -> Baseline:
+    entries: Set[Tuple[str, str, str]] = set()
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("\t", 2)
+        if len(parts) != 3:
+            raise BaselineError(
+                f"{path or 'baseline'}:{number}: expected "
+                f"rule<TAB>path<TAB>message, got {raw!r}")
+        entries.add((parts[0], parts[1], parts[2]))
+    return Baseline(entries, path=path)
+
+
+def load_baseline(path: Path) -> Baseline:
+    return parse_baseline(path.read_text(encoding="utf-8"), path=path)
+
+
+def format_baseline(findings: Iterable[Finding]) -> str:
+    """Render *findings* as a fresh baseline file body.
+
+    Each entry gets a justification placeholder; the file is not fit
+    to commit until every placeholder is replaced with a reason.
+    """
+    lines = [
+        "# repro lint baseline — grandfathered findings.",
+        "# One entry per line: rule<TAB>path<TAB>message.",
+        "# Every entry MUST carry a justification comment; entries are",
+        "# matched by fingerprint (no line numbers), and stale entries",
+        "# are reported so fixed code gets its entry removed.",
+        "",
+    ]
+    for finding in sorted(set(findings)):
+        lines.append("# JUSTIFY: <why is this finding sanctioned?>")
+        lines.append("\t".join(finding.fingerprint))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,134 @@
+"""The analysis driver: collect modules, parse once, run the checkers.
+
+The unit of analysis is a :class:`SourceModule`: one parsed file plus
+its dotted module name, derived from its path relative to the analysis
+*root* (the directory containing the top-level ``repro`` package —
+``<repo>/src`` for the real tree, a fixture directory in tests). Every
+checker is a pure function ``SourceModule -> Iterable[Finding]``; the
+driver parses each file exactly once and fans the tree out to all of
+them, then filters ``# lint: allow(...)`` pragma'd lines.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.lint.baseline import pragma_allows, scan_pragmas
+from repro.lint.findings import Finding
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file under analysis."""
+
+    path: Path           # absolute location on disk
+    relpath: str         # posix path relative to the analysis root
+    module: str          # dotted module name ("repro.core.node")
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    @property
+    def package(self) -> str:
+        """The top-level sub-package ("core" for repro.core.node)."""
+        parts = self.module.split(".")
+        return parts[1] if len(parts) > 1 else ""
+
+
+def default_root() -> Path:
+    """The analysis root of the installed tree: the directory holding
+    the ``repro`` package (``<repo>/src`` in a source checkout)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent.parent
+
+
+def _module_name(relpath: Path) -> str:
+    parts = list(relpath.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def collect_modules(root: Path,
+                    paths: Optional[Sequence[Path]] = None
+                    ) -> List[SourceModule]:
+    """Parse every ``*.py`` under *root* (or just *paths*).
+
+    Files that fail to parse yield a module with an empty tree; the
+    driver reports those as ``parse-error`` findings rather than
+    aborting the run.
+    """
+    root = Path(root).resolve()
+    if paths:
+        files = []
+        for path in (Path(p).resolve() for p in paths):
+            files.extend(sorted(path.rglob("*.py"))
+                         if path.is_dir() else [path])
+        files.sort()
+    else:
+        files = sorted(root.rglob("*.py"))
+    modules: List[SourceModule] = []
+    for file in files:
+        if "__pycache__" in file.parts:
+            continue
+        relpath = file.relative_to(root)
+        source = file.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(file))
+        except SyntaxError as exc:
+            tree = ast.Module(body=[], type_ignores=[])
+            modules.append(SourceModule(
+                path=file, relpath=relpath.as_posix(),
+                module=_module_name(relpath), tree=tree,
+                lines=[f"__parse_error__: {exc.msg} (line {exc.lineno})"]))
+            continue
+        modules.append(SourceModule(
+            path=file, relpath=relpath.as_posix(),
+            module=_module_name(relpath), tree=tree,
+            lines=source.splitlines()))
+    return modules
+
+
+Checker = Callable[[SourceModule], Iterable[Finding]]
+
+
+def default_checkers() -> List[Checker]:
+    from repro.lint.determinism import check_determinism
+    from repro.lint.enclave import check_enclave_boundary
+    from repro.lint.layering import check_layering
+    from repro.lint.taint import check_taint
+
+    return [check_taint, check_enclave_boundary, check_determinism,
+            check_layering]
+
+
+def run_lint(root: Path,
+             paths: Optional[Sequence[Path]] = None,
+             checkers: Optional[Sequence[Checker]] = None
+             ) -> List[Finding]:
+    """Run all checkers over *root*; returns pragma-filtered findings.
+
+    Baseline application is the caller's concern (the CLI and the CI
+    gate both want to report grandfathered counts differently).
+    """
+    modules = collect_modules(root, paths=paths)
+    active = list(checkers) if checkers is not None else default_checkers()
+    findings: List[Finding] = []
+    for module in modules:
+        if module.lines and module.lines[0].startswith("__parse_error__"):
+            findings.append(Finding(
+                path=module.relpath, line=0, rule="parse-error",
+                message=module.lines[0].split(": ", 1)[1]))
+            continue
+        collected: List[Finding] = []
+        for checker in active:
+            collected.extend(checker(module))
+        pragmas = scan_pragmas(module.lines)
+        if pragmas:
+            collected = [finding for finding in collected
+                         if not pragma_allows(pragmas, finding)]
+        findings.extend(collected)
+    return sorted(set(findings))

@@ -1,0 +1,133 @@
+"""The findings model: rule catalogue, one finding, text/JSON output.
+
+A finding is identified for baseline purposes by its *fingerprint*
+``(rule, path, message)`` — deliberately excluding the line number, so
+grandfathered findings survive unrelated edits above them. Messages
+must therefore be stable: they name classes, functions and symbols,
+never line numbers or volatile values.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+#: rule id -> (one-line description, fix hint). The catalogue is the
+#: contract between checkers, docs and tests: every finding's ``rule``
+#: must be a key here (asserted by ``tests/lint/test_findings.py``).
+RULES = {
+    # -- taint (repro.lint.taint) ------------------------------------
+    "taint-wire": (
+        "query text flows into a wire egress call outside the enclave",
+        "seal the payload inside an @ecall before it reaches "
+        "send/request/respond (see docs/static-analysis.md#taint)"),
+    "taint-print": (
+        "query text flows into print()",
+        "drop the output or log a salted bucket via "
+        "repro.obs.query_hash_bucket"),
+    "taint-log": (
+        "query text flows into a logging call",
+        "log repro.obs.query_hash_bucket(text) instead of the text"),
+    "taint-exception": (
+        "query text flows into an exception message",
+        "raise with a constant message; exception text ends up in "
+        "logs and crash reports"),
+    "taint-telemetry": (
+        "query text flows into a span or metric attribute",
+        "attach repro.obs.query_hash_bucket(text), never the text"),
+    "span-forbidden-key": (
+        "span/metric attribute uses a key the telemetry audit forbids",
+        "pick a key outside repro.obs.sinks.FORBIDDEN_ATTRIBUTE_KEYS "
+        "(these mark real/fake legs or carry secrets)"),
+    # -- enclave boundary (repro.lint.enclave) -----------------------
+    "enclave-trusted-outside-ecall": (
+        "enclave-private state touched outside an @ecall gate",
+        "move the access into an @ecall method (or a helper only "
+        "reachable from ecalls)"),
+    "enclave-internal-import": (
+        "untrusted module imports an enclave-internal symbol",
+        "use the public repro.sgx API; underscore symbols are "
+        "trusted-side implementation"),
+    "enclave-ocall-bypass": (
+        "ocall table accessed directly instead of via Enclave.ocall",
+        "route through Enclave.ocall so crossings are gated and "
+        "charged"),
+    # -- determinism (repro.lint.determinism) ------------------------
+    "det-wall-clock": (
+        "wall-clock read in simulation code",
+        "take time from the simulator (or repro.obs.clock); wall "
+        "clocks break byte-identical reproduction"),
+    "det-system-entropy": (
+        "system entropy (os.urandom/SystemRandom) outside repro.crypto",
+        "thread a seeded random.Random through, or use "
+        "repro.crypto.rng.system_rng() where nondeterminism is the "
+        "point"),
+    "det-global-random": (
+        "module-global random.* call (shared, unseeded stream)",
+        "use an explicit random.Random(seed) instance"),
+    "det-unseeded-rng": (
+        "random.Random() constructed without a seed",
+        "pass a seed, or use repro.crypto.rng.system_rng() for "
+        "deliberately nondeterministic key material"),
+    # -- layering (repro.lint.layering) ------------------------------
+    "layer-import-dag": (
+        "protected package imports a top-layer package",
+        "core/sgx/net/text/... must not depend on "
+        "cli/experiments/baselines/perf; invert the dependency"),
+    "layer-obs-facade": (
+        "observability imported past its facade",
+        "import from repro.obs (the facade re-exports the public "
+        "surface), not repro.obs.<submodule>"),
+    # -- engine ------------------------------------------------------
+    "parse-error": (
+        "file does not parse",
+        "fix the syntax error"),
+}
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One static-analysis finding, anchored to ``path:line``."""
+
+    path: str        # posix path relative to the analysis root
+    line: int
+    rule: str
+    message: str
+    hint: str = ""
+
+    @property
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Baseline identity: stable across unrelated line shifts."""
+        return (self.rule, self.path, self.message)
+
+    def format(self) -> str:
+        text = f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        hint = self.hint or RULES.get(self.rule, ("", ""))[1]
+        if hint:
+            text += f"\n    hint: {hint}"
+        return text
+
+
+def make_finding(module, node, rule: str, message: str) -> Finding:
+    """Build a finding for an AST *node* of a :class:`SourceModule`."""
+    return Finding(path=module.relpath, line=getattr(node, "lineno", 0),
+                   rule=rule, message=message)
+
+
+def format_text(findings: Iterable[Finding]) -> str:
+    items = sorted(findings)
+    if not items:
+        return "repro lint: clean (0 findings)"
+    lines = [finding.format() for finding in items]
+    lines.append(f"repro lint: {len(items)} finding(s)")
+    return "\n".join(lines)
+
+
+def findings_to_json(findings: Iterable[Finding]) -> str:
+    payload: List[dict] = [
+        {"path": f.path, "line": f.line, "rule": f.rule,
+         "message": f.message,
+         "hint": f.hint or RULES.get(f.rule, ("", ""))[1]}
+        for f in sorted(findings)]
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -33,7 +33,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterator, List, Optional, Sequence
 
 from repro.net.transport import Network
-from repro.obs import OBS
+from repro.obs import OBS, sinks
 
 #: Histogram bounds for per-kind message sizes — aligned with the
 #: 512-byte record envelope so padding regressions shift a bucket.
@@ -71,6 +71,12 @@ def _encode_wire_image(payload: Any) -> bytes:
 class MessageTrace:
     """Context manager capturing transmissions on a network."""
 
+    #: The Network method this wiretap hooks — taken from the shared
+    #: sink registry so the runtime capture point and the static taint
+    #: pass's wire-egress sink list are one definition
+    #: (``tests/lint/test_sinks_registry.py`` pins the identity).
+    TAP_METHOD = sinks.RUNTIME_WIRE_TAP
+
     def __init__(self, network: Network,
                  kinds: Optional[Sequence[str]] = None,
                  src: Optional[str] = None,
@@ -89,7 +95,7 @@ class MessageTrace:
     def __enter__(self) -> "MessageTrace":
         if self._original_send is not None:
             raise RuntimeError("trace already installed")
-        self._original_send = self.network.send
+        self._original_send = getattr(self.network, self.TAP_METHOD)
 
         def tapped(src: str, dst: str, kind: str, payload: Any,
                    size_bytes: Optional[int] = None):
@@ -119,12 +125,12 @@ class MessageTrace:
                         buckets=SIZE_BUCKETS, kind=kind).observe(size)
             return message
 
-        self.network.send = tapped
+        setattr(self.network, self.TAP_METHOD, tapped)
         return self
 
     def __exit__(self, *exc_info) -> None:
         if self._original_send is not None:
-            self.network.send = self._original_send
+            setattr(self.network, self.TAP_METHOD, self._original_send)
             self._original_send = None
 
     def _matches(self, src: str, dst: str, kind: str) -> bool:

@@ -37,21 +37,23 @@ from contextlib import contextmanager as _contextmanager
 from typing import Optional
 
 from repro.obs import (audit, breakdown, clock, criticalpath, distributed,
-                       export, metrics, trace)
+                       export, metrics, sinks, trace)
 from repro.obs.audit import AuditReport, AuditViolation, run_telemetry_audit
 from repro.obs.breakdown import (PIPELINE_STAGES, format_breakdown,
-                                 stage_breakdown)
+                                 root_span, stage_breakdown)
 from repro.obs.clock import Clock, ManualClock, SimulatedClock, WallClock
 from repro.obs.criticalpath import (CriticalPathReport, critical_path,
                                     find_stragglers, format_report,
                                     relay_latency_summaries)
 from repro.obs.distributed import (AssembledTrace, SpanRouter, TraceContext,
-                                   assemble, assemble_all, query_hash_bucket,
+                                   assemble, assemble_all, close_remote_span,
+                                   open_remote_span, query_hash_bucket,
                                    trace_sources)
 from repro.obs.export import (chrome_trace, parse_prometheus,
                               parse_trace_jsonl, prometheus_snapshot,
                               trace_to_jsonl)
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry)
+from repro.obs.sinks import FORBIDDEN_ATTRIBUTE_KEYS, PATH_SCOPED_SPANS
 from repro.obs.trace import NullSink, Span, Tracer, TraceSink
 
 
@@ -184,6 +186,7 @@ __all__ = [
     "distributed",
     "export",
     "metrics",
+    "sinks",
     "trace",
     # frequently used types/functions
     "Clock",
@@ -201,6 +204,7 @@ __all__ = [
     "PIPELINE_STAGES",
     "stage_breakdown",
     "format_breakdown",
+    "root_span",
     "trace_to_jsonl",
     "parse_trace_jsonl",
     "prometheus_snapshot",
@@ -214,14 +218,18 @@ __all__ = [
     "assemble_all",
     "trace_sources",
     "query_hash_bucket",
+    "open_remote_span",
+    "close_remote_span",
     # critical path
     "CriticalPathReport",
     "critical_path",
     "format_report",
     "relay_latency_summaries",
     "find_stragglers",
-    # telemetry audit
+    # telemetry audit + shared sink registry
     "AuditReport",
     "AuditViolation",
     "run_telemetry_audit",
+    "FORBIDDEN_ATTRIBUTE_KEYS",
+    "PATH_SCOPED_SPANS",
 ]

@@ -35,19 +35,10 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.obs.distributed import AssembledTrace, assemble
 from repro.obs.trace import Span
 
-#: Attribute keys that would mark a span as belonging to the real (or
-#: a fake) query's path, or leak protocol secrets outright.
-FORBIDDEN_ATTRIBUTE_KEYS = frozenset({
-    "is_fake", "is_real", "real", "fake", "token", "true_user",
-    "query", "query_text", "text", "plaintext",
-})
-
-#: Span names scoped to one fan-out leg; the indistinguishability
-#: check compares their shapes across the k+1 paths.
-PATH_SCOPED_SPANS = frozenset({
-    "path", "relay.forward", "relay.unwrap", "relay.respond",
-    "engine.serve", "sgx.ecall", "sgx.ocall",
-})
+# The sink lists live in the shared registry (repro.obs.sinks) so this
+# runtime audit and the static taint pass (repro.lint.taint) can never
+# drift apart; re-exported here for backwards compatibility.
+from repro.obs.sinks import FORBIDDEN_ATTRIBUTE_KEYS, PATH_SCOPED_SPANS
 
 
 @dataclass(frozen=True)

@@ -207,7 +207,7 @@ def bench_search(num_nodes: int = 16, searches: int = 25, seed: int = 0,
     *repeats* passes, each on a fresh (identically seeded) overlay."""
     from repro import obs
     from repro.core.client import CyclosaNetwork
-    from repro.obs.breakdown import root_span, stage_breakdown
+    from repro.obs import root_span, stage_breakdown
 
     queries = workload_queries(searches, seed=seed)
 

@@ -33,9 +33,8 @@ from repro.crypto.keys import IdentityKeyPair
 from repro.net.latency import LatencyModel, LogNormalLatency
 from repro.net.transport import Network, NetNode, RequestContext
 from repro.net.tls import SecureChannelManager, SignatureAuthenticator
-from repro.obs import OBS
-from repro.obs.distributed import (TraceContext, close_remote_span,
-                                   open_remote_span, query_hash_bucket)
+from repro.obs import (OBS, TraceContext, close_remote_span,
+                       open_remote_span, query_hash_bucket)
 from repro.searchengine.adversary import QueryLogTap
 from repro.searchengine.engine import SearchEngine
 from repro.searchengine.ratelimit import RateLimiter, RateLimitVerdict

@@ -25,8 +25,7 @@ from typing import Any, Callable, Dict, Optional
 
 from repro.crypto.hashes import hkdf, hmac_sha256, sha256
 from repro.crypto.keys import IdentityKeyPair
-from repro.obs import OBS
-from repro.obs.distributed import close_remote_span, open_remote_span
+from repro.obs import OBS, close_remote_span, open_remote_span
 from repro.sgx.epc import EnclavePageCache
 from repro.sgx.errors import EnclaveError, EnclaveIsolationError
 

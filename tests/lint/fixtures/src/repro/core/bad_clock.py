@@ -1,0 +1,7 @@
+"""Fixture: wall clock in simulation code. Expect det-wall-clock."""
+
+import time
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,7 @@
+"""Fixture: system entropy outside repro.crypto. Expect det-system-entropy."""
+
+import os
+
+
+def token():
+    return os.urandom(16)

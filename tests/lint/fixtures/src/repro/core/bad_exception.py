@@ -1,0 +1,5 @@
+"""Fixture: query text in a raised exception. Expect taint-exception."""
+
+
+def reject(query):
+    raise ValueError(f"unsupported query: {query}")

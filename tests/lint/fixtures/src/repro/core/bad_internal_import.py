@@ -1,0 +1,4 @@
+"""Fixture: enclave-internal symbol imported by untrusted code.
+Expect enclave-internal-import."""
+
+from repro.sgx.enclave import _measure  # noqa: F401

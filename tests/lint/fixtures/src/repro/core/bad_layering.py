@@ -1,0 +1,3 @@
+"""Fixture: protected package importing a top layer. Expect layer-import-dag."""
+
+from repro.cli import main  # noqa: F401

@@ -1,0 +1,9 @@
+"""Fixture: query text logged. Expect taint-log."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def note(query):
+    logger.info("serving %s", query)

@@ -1,0 +1,3 @@
+"""Fixture: reaching past the obs facade. Expect layer-obs-facade."""
+
+from repro.obs.trace import Span  # noqa: F401

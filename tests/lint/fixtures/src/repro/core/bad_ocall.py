@@ -1,0 +1,5 @@
+"""Fixture: ocall table reached directly. Expect enclave-ocall-bypass."""
+
+
+def bypass(enclave, payload):
+    return enclave.ocall_handler("net.send", payload)

@@ -1,0 +1,5 @@
+"""Fixture: file that does not parse. Expect parse-error."""
+
+
+def broken(:
+    pass

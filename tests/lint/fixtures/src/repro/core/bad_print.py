@@ -1,0 +1,5 @@
+"""Fixture: query text printed. Expect taint-print."""
+
+
+def debug(query):
+    print("serving", query)

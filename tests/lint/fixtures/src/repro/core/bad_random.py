@@ -1,0 +1,7 @@
+"""Fixture: module-global random call. Expect det-global-random."""
+
+import random
+
+
+def pick(items):
+    return random.choice(items)

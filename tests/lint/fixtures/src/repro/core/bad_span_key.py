@@ -1,0 +1,5 @@
+"""Fixture: forbidden span-attribute key. Expect span-forbidden-key."""
+
+
+def trace_leg(tracer):
+    return tracer.start_span("fanout", attributes={"is_fake": True})

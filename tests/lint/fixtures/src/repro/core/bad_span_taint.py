@@ -1,0 +1,5 @@
+"""Fixture: query text as a span-attribute value. Expect taint-telemetry."""
+
+
+def annotate(span, query):
+    span.set_attribute("bucket", query)

@@ -1,0 +1,15 @@
+"""Fixture: sealed state outside the ecall gate.
+Expect enclave-trusted-outside-ecall (on DemoEnclave.peek only —
+seal is gated, so the trusted closure covers it)."""
+
+from repro.sgx.enclave import ecall
+
+
+class DemoEnclave:
+
+    @ecall
+    def seal(self, record):
+        self.trusted["record"] = record
+
+    def peek(self):
+        return self.trusted["record"]

@@ -1,0 +1,7 @@
+"""Fixture: Random() without a seed. Expect det-unseeded-rng."""
+
+import random
+
+
+def fresh_rng():
+    return random.Random()

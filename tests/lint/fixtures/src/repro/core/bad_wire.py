@@ -1,0 +1,5 @@
+"""Fixture: plaintext query reaching wire egress. Expect taint-wire."""
+
+
+def forward(network, dst, query):
+    network.send(dst, {"kind": "search.req", "query": query})

@@ -1,0 +1,21 @@
+"""Fixture: the sanctioned patterns — the analyzer must stay silent.
+
+Seeded randomness, salted hash buckets instead of plaintext, and
+facade-only imports: what a compliant protected-package module does.
+"""
+
+import random
+
+from repro.obs import query_hash_bucket
+
+
+def protect(network, dst, query):
+    bucket = query_hash_bucket(query)
+    network.send(dst, {"kind": "search.req", "bucket": bucket})
+    return bucket
+
+
+def shuffle(items, seed):
+    rng = random.Random(seed)
+    rng.shuffle(items)
+    return items

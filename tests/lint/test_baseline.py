@@ -1,0 +1,103 @@
+"""Baseline files, pragmas, fingerprints and the findings model."""
+
+import json
+
+import pytest
+
+from repro.lint import (RULES, Finding, findings_to_json, format_baseline,
+                        format_text, scan_pragmas)
+from repro.lint.baseline import (Baseline, BaselineError, parse_baseline,
+                                 pragma_allows)
+
+pytestmark = pytest.mark.lint
+
+
+def _finding(rule="taint-print", path="repro/core/x.py", line=3,
+             message="query text flows into print()"):
+    return Finding(path=path, line=line, rule=rule, message=message)
+
+
+# -- pragmas ---------------------------------------------------------------
+
+def test_scan_pragmas_single_rule():
+    lines = ["x = 1", "print(q)  # lint: allow(taint-print) -- own tty"]
+    assert scan_pragmas(lines) == {2: {"taint-print"}}
+
+
+def test_scan_pragmas_multiple_rules_and_star():
+    lines = ["a  # lint: allow(taint-print, taint-log)",
+             "b  # lint: allow(*)"]
+    pragmas = scan_pragmas(lines)
+    assert pragmas[1] == {"taint-print", "taint-log"}
+    assert pragma_allows(pragmas, _finding(line=1))
+    assert pragma_allows(pragmas, _finding(rule="det-wall-clock", line=2))
+    assert not pragma_allows(pragmas, _finding(rule="det-wall-clock",
+                                               line=1))
+
+
+def test_pragma_only_covers_its_own_line():
+    pragmas = scan_pragmas(["print(q)  # lint: allow(taint-print)"])
+    assert not pragma_allows(pragmas, _finding(line=2))
+
+
+# -- baseline file ---------------------------------------------------------
+
+def test_parse_baseline_skips_comments_and_blanks():
+    text = ("# a justification\n"
+            "\n"
+            "taint-print\trepro/core/x.py\tquery text flows into print()\n")
+    baseline = parse_baseline(text)
+    assert len(baseline) == 1
+    assert baseline.matches(_finding())
+
+
+def test_parse_baseline_rejects_malformed_lines():
+    with pytest.raises(BaselineError):
+        parse_baseline("taint-print only-two-fields\n")
+
+
+def test_baseline_apply_splits_fresh_from_grandfathered():
+    baseline = Baseline({_finding().fingerprint})
+    fresh_finding = _finding(rule="det-wall-clock",
+                             message="calls time.time() in simulation code")
+    fresh, grandfathered = baseline.apply([_finding(), fresh_finding])
+    assert fresh == [fresh_finding]
+    assert grandfathered == [_finding()]
+
+
+def test_baseline_matching_ignores_line_numbers():
+    baseline = Baseline({_finding(line=3).fingerprint})
+    assert baseline.matches(_finding(line=99))
+
+
+def test_stale_entries_report_fixed_code():
+    gone = ("taint-log", "repro/core/gone.py", "old message")
+    baseline = Baseline({_finding().fingerprint, gone})
+    assert baseline.stale_entries([_finding()]) == {gone}
+
+
+def test_format_baseline_roundtrips_with_justify_placeholders():
+    body = format_baseline([_finding()])
+    assert "# JUSTIFY:" in body
+    assert parse_baseline(body).matches(_finding())
+
+
+# -- findings model --------------------------------------------------------
+
+def test_every_rule_has_description_and_hint():
+    for rule, (description, hint) in RULES.items():
+        assert description and hint, rule
+
+
+def test_format_text_clean_and_nonempty():
+    assert "clean" in format_text([])
+    rendered = format_text([_finding()])
+    assert "repro/core/x.py:3" in rendered
+    assert "[taint-print]" in rendered
+    assert "hint:" in rendered
+
+
+def test_findings_to_json_is_parseable_and_hinted():
+    payload = json.loads(findings_to_json([_finding()]))
+    assert payload[0]["rule"] == "taint-print"
+    assert payload[0]["hint"] == RULES["taint-print"][1]
