@@ -1,0 +1,113 @@
+"""Chaos gate: the §VI-b failure path must stay correct under faults.
+
+Runs the seeded :mod:`repro.faults` fault matrix at a small, fast
+scale and fails (exit code 1) when any invariant breaks:
+
+- **hung search** — a protected search that never reached a terminal
+  status after the drain (the §VI-b path must terminate everything);
+- **relay-disjointness violation** — a real-query retry landed on a
+  relay already carrying a fake leg of the same search (§V
+  one-query-per-relay);
+- **success-rate floor** — a cell's query success rate fell below the
+  recorded floor for this workload (graceful degradation regressed).
+
+Run it from the repo root::
+
+    PYTHONPATH=src python -m benchmarks.check_chaos
+    PYTHONPATH=src python -m benchmarks.check_chaos --json
+
+Everything is seeded (deployment seed, fault-plan seed), so the run —
+and its ``--json`` report — is byte-for-byte reproducible; the floors
+below were recorded from exactly this workload and are machine-
+independent (simulated time, not wall time).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.faults import chaos
+
+#: Gate workload: small but covering every cell of the default matrix.
+NODES = 8
+QUERIES = 4
+SEED = 11
+PLAN_SEED = 3
+
+#: Recorded success-rate floor per cell for the gate workload. The
+#: matrix cells at this seed all complete at 1.0 today (except the
+#: always-captcha storm cell, whose point is *terminal* failure); the
+#: floors leave one-query headroom so a legitimately unlucky future
+#: workload tweak fails loudly only when recovery actually regressed.
+FLOORS = {
+    "baseline": 1.0,
+    "drop-forward": 0.75,
+    "drop-response": 0.75,
+    "slow-relays": 0.75,
+    "duplicate-storm": 0.75,
+    "corrupt-forward": 0.75,
+    "crash-after-receive": 0.75,
+    "attest-deny": 0.75,
+    "ratelimit-storm": 0.0,
+    "combo": 0.5,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="check_chaos",
+        description="run the seeded fault matrix and enforce the "
+                    "no-hang / disjointness / success-floor invariants")
+    parser.add_argument("--json", action="store_true",
+                        help="dump the deterministic matrix report")
+    args = parser.parse_args(argv)
+
+    report = chaos.run_matrix(
+        chaos.matrix_cells(None, plan_seed=PLAN_SEED),
+        num_nodes=NODES, queries=QUERIES, seed=SEED)
+
+    if args.json:
+        print(chaos.report_json(report))
+    else:
+        print(chaos.format_report(report))
+
+    failures: List[str] = []
+    for row in report["cells"]:
+        name = row["cell"]
+        if row["hung_searches"]:
+            failures.append(
+                f"{name}: {row['hung_searches']} hung search(es) — "
+                "a protected search never reached a terminal status")
+        if row["disjointness_violations"]:
+            failures.append(
+                f"{name}: {row['disjointness_violations']} relay-"
+                "disjointness violation(s) — a retry reused a fake-leg "
+                "relay")
+        floor = FLOORS.get(name)
+        if floor is None:
+            failures.append(
+                f"{name}: no recorded floor — add it to "
+                "benchmarks/check_chaos.py FLOORS")
+        elif row["success_rate"] < floor:
+            failures.append(
+                f"{name}: success rate {row['success_rate']:.2f} fell "
+                f"below the recorded floor {floor:.2f}")
+    stale = sorted(set(FLOORS) - {row["cell"] for row in report["cells"]})
+    if stale:
+        failures.append(
+            f"stale floors for unknown cells: {', '.join(stale)}")
+
+    if failures:
+        print("\nCHAOS GATE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nchaos gate ok: {len(report['cells'])} cells, zero hung "
+          "searches, zero disjointness violations, all floors held")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

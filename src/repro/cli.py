@@ -16,6 +16,9 @@ Commands:
 - ``lint [paths...]``           — run the trust-boundary / taint /
   determinism / layering analyzer over ``src/`` (see
   ``docs/static-analysis.md``).
+- ``chaos``                     — run the seeded fault-matrix sweep
+  over the protected-search pipeline and report success rate /
+  retries / latency per cell (see ``docs/robustness.md``).
 
 Examples::
 
@@ -27,6 +30,8 @@ Examples::
     python -m repro perf --output BENCH_pipeline.json
     python -m repro lint --baseline
     python -m repro lint --format json src/repro/core
+    python -m repro chaos
+    python -m repro chaos --cells combo ratelimit-storm --json
 """
 
 from __future__ import annotations
@@ -295,6 +300,36 @@ def _cmd_lint(args) -> int:
     return 1 if fresh else 0
 
 
+def _cmd_chaos(args) -> int:
+    """Run the fault-matrix sweep; exit 1 on any broken invariant."""
+    from repro.faults import chaos
+
+    if args.list_cells:
+        for cell in chaos.default_matrix():
+            print(f"  {cell.name:<20} {cell.description}")
+        return 0
+    cells = chaos.matrix_cells(args.cells or None,
+                               plan_seed=args.plan_seed)
+    report = chaos.run_matrix(cells, num_nodes=args.nodes,
+                              queries=args.queries, seed=args.seed,
+                              k=args.k)
+    if args.json:
+        print(chaos.report_json(report))
+    else:
+        print(f"fault matrix: {args.nodes} nodes, "
+              f"{args.queries} queries/cell, seed {args.seed}, "
+              f"k={args.k}\n")
+        print(chaos.format_report(report))
+    broken = [row["cell"] for row in report["cells"]
+              if row["hung_searches"] or row["disjointness_violations"]]
+    if broken:
+        print(f"\nBROKEN INVARIANT in: {', '.join(broken)} "
+              "(hung search or relay-disjointness violation)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -379,6 +414,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--root", default=None,
         help="source root to lint instead of the installed src/ tree")
 
+    chaos_parser = subparsers.add_parser(
+        "chaos", help="run the seeded fault-matrix sweep over the "
+                      "protected-search pipeline (docs/robustness.md)")
+    chaos_parser.add_argument(
+        "--cells", nargs="*", default=None, metavar="CELL",
+        help="cells to run (default: the whole matrix; "
+             "see --list-cells)")
+    chaos_parser.add_argument("--list-cells", action="store_true",
+                              help="list the matrix cells and exit")
+    chaos_parser.add_argument("--nodes", type=int, default=10,
+                              help="overlay size per cell (default 10)")
+    chaos_parser.add_argument("--queries", type=int, default=6,
+                              help="protected searches per cell "
+                                   "(default 6)")
+    chaos_parser.add_argument("--seed", type=int, default=7,
+                              help="deployment seed (default 7)")
+    chaos_parser.add_argument("--plan-seed", type=int, default=0,
+                              help="fault-plan seed (default 0)")
+    chaos_parser.add_argument("--k", type=int, default=2,
+                              help="fake queries per search (default 2)")
+    chaos_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the deterministic per-cell JSON report instead of "
+             "the table (byte-identical for identical arguments)")
+
     return parser
 
 
@@ -405,6 +465,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.baseline = None
             args.use_baseline = True
         return _cmd_lint(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     parser.print_help()
     return 0
 

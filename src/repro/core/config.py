@@ -53,6 +53,16 @@ class CyclosaConfig:
     #: marshalling + consumer uplink serialisation); this is what makes
     #: latency grow with k in Fig 8b.
     client_request_overhead: float = 0.085
+    #: Real-query retries back off exponentially so a degraded overlay
+    #: is not hammered: the r-th retry waits
+    #: ``min(retry_backoff_max, retry_backoff_base * retry_backoff_factor**r)``
+    #: seconds, stretched by up to ``retry_backoff_jitter`` (a fraction,
+    #: drawn from the deployment RNG — deterministic per seed) to keep
+    #: synchronised clients from retrying in lock-step.
+    retry_backoff_base: float = 0.25
+    retry_backoff_factor: float = 2.0
+    retry_backoff_max: float = 5.0
+    retry_backoff_jitter: float = 0.2
 
     # -- latency calibration (Fig 8a) ---------------------------------------
     #: Median / sigma of the residential peer-to-peer link (one way).

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Set
 
 from repro.core.adaptive import choose_k
 from repro.core.config import CyclosaConfig
@@ -63,6 +63,9 @@ class NodeStats:
     relayed: int = 0
     retries: int = 0
     blacklisted_peers: int = 0
+    #: Searches whose real-query relay set ever intersected the fake
+    #: legs' relay set (§V one-query-per-relay property; must stay 0).
+    disjointness_violations: int = 0
 
 
 @dataclass
@@ -76,6 +79,16 @@ class ProtectedSearch:
     retries_left: int
     real_token: Optional[str] = None
     done: bool = False
+    #: Node-unique id; the search stays in ``CyclosaNode._searches``
+    #: until a terminal status is delivered (hang detection).
+    search_id: str = ""
+    #: Retry attempts consumed so far (drives the backoff schedule).
+    attempts: int = 0
+    #: Every relay that ever carried the real query (initial dispatch
+    #: plus §VI-b retries) / a fake leg. Replacement draws exclude the
+    #: union, so the two sets stay disjoint across retries (§V).
+    real_relays: Set[str] = field(default_factory=set)
+    fake_relays: Set[str] = field(default_factory=set)
     #: Root span of this query's trace (None when obs is disabled).
     trace_root: Optional[Any] = None
     #: The open ``engine`` stage span (real record in flight).
@@ -148,6 +161,7 @@ class CyclosaNode(NetNode):
         self.sealing = SealingService(self.host.platform_id, rng)
 
         self._searches: Dict[str, ProtectedSearch] = {}
+        self._search_ids = itertools.count()
         #: Trace id of the most recently issued search (None when obs
         #: is disabled); the synchronous facade surfaces it.
         self.last_trace_id: Optional[str] = None
@@ -250,9 +264,22 @@ class CyclosaNode(NetNode):
         search = ProtectedSearch(
             query=query, k=k, issued_at=self.network.simulator.now,
             on_result=on_result, retries_left=self.config.max_retries,
-            trace_root=root)
+            trace_root=root,
+            search_id=f"{self.address}/s{next(self._search_ids):06d}")
+        self._searches[search.search_id] = search
         self._select_relays_and_dispatch(search)
         return k
+
+    def outstanding_searches(self) -> List[ProtectedSearch]:
+        """Issued searches that have not yet reached a terminal status.
+
+        Every protected search must terminate — with ``ok``,
+        ``captcha``, ``no-peers``, ``relay-failure`` or
+        ``channel-failure`` — whatever the overlay does (§VI-b). The
+        chaos harness drains the simulator and asserts this is empty;
+        a non-empty result after a drain is a hung search, i.e. a bug.
+        """
+        return list(self._searches.values())
 
     # -- relay selection -------------------------------------------------
 
@@ -302,7 +329,10 @@ class CyclosaNode(NetNode):
         if search.done:
             return
         if not relays:
-            self._finish(search, status="no-peers", hits=[])
+            # Peers existed but no channel could be established
+            # (attestation denied, handshakes timed out): distinct from
+            # an empty view, and still a terminal status — never a hang.
+            self._finish(search, status="channel-failure", hits=[])
             return
         k = len(relays) - 1
         search.k = min(search.k, k)
@@ -358,6 +388,9 @@ class CyclosaNode(NetNode):
             is_real = token is not None
             if is_real:
                 search.real_token = token
+                search.real_relays.add(relay)
+            else:
+                search.fake_relays.add(relay)
             self.network.simulator.schedule(
                 delay,
                 lambda r=relay, s=sealed, real=is_real: self._send_record(
@@ -481,21 +514,75 @@ class CyclosaNode(NetNode):
                 search.engine_span.set_attribute("timeout", True)
                 OBS.tracer.end_span(search.engine_span)
                 search.engine_span = None
-        if search.retries_left <= 0 or search.real_token is None:
+        if search.real_token is None:
+            self._finish(search, status="relay-failure", hits=[])
+            return
+        self._schedule_retry(search)
+
+    # -- §VI-b retry path --------------------------------------------------
+
+    def _schedule_retry(self, search: ProtectedSearch) -> None:
+        """Queue the next real-query retry behind exponential backoff.
+
+        The r-th retry waits ``base * factor**r`` (capped), stretched
+        by a seeded jitter draw so synchronised clients spread out
+        instead of re-hitting a struggling overlay in lock-step. When
+        the retry budget is exhausted the search terminates with
+        ``relay-failure`` — there is no path out of here that leaves
+        the search pending forever.
+        """
+        if search.done:
+            return
+        if search.retries_left <= 0:
             self._finish(search, status="relay-failure", hits=[])
             return
         search.retries_left -= 1
         self.stats.retries += 1
-        replacements = self.pss.random_peers(1, exclude=[self.address, relay])
+        config = self.config
+        backoff = min(config.retry_backoff_max,
+                      config.retry_backoff_base
+                      * config.retry_backoff_factor ** search.attempts)
+        search.attempts += 1
+        if config.retry_backoff_jitter > 0:
+            backoff *= 1.0 + config.retry_backoff_jitter * self.rng.random()
+        if OBS.enabled:
+            OBS.registry.counter("cyclosa_core_retry_backoff_total",
+                                 "backed-off real-query retries").inc()
+        self.network.simulator.schedule(
+            backoff, lambda: self._retry_real(search))
+
+    def _retry_real(self, search: ProtectedSearch) -> None:
+        """Re-dispatch the real query through a fresh relay.
+
+        The replacement draw excludes every relay this search ever
+        used — real legs *and* fake legs — so a retry can never land
+        on a relay already holding a fake record of the same search
+        (which would clobber its pending entry and break the §V
+        one-query-per-relay property).
+        """
+        if search.done:
+            return
+        used = search.real_relays | search.fake_relays
+        used.add(self.address)
+        replacements = self.pss.random_peers(1, exclude=sorted(used))
         if not replacements:
             self._finish(search, status="no-peers", hits=[])
             return
         replacement = replacements[0]
 
         def retry(ready: List[str]) -> None:
-            if not ready or search.done:
-                if not search.done and search.retries_left <= 0:
-                    self._finish(search, status="relay-failure", hits=[])
+            if search.done:
+                return
+            if not ready:
+                # Channel re-establishment failed (attestation denial,
+                # handshake timeout). Burn another retry through the
+                # backoff path rather than silently dropping the
+                # search; with the budget exhausted this terminates
+                # with an explicit status.
+                if search.retries_left > 0:
+                    self._schedule_retry(search)
+                else:
+                    self._finish(search, status="channel-failure", hits=[])
                 return
             traceparent = None
             if OBS.enabled and search.trace_root is not None:
@@ -508,9 +595,21 @@ class CyclosaNode(NetNode):
                 search.path_info[ready[0]] = (path, leg_id)
                 traceparent = TraceContext(
                     root.trace_id, leg_id, path).to_traceparent()
-            token, sealed = self.enclave.rebuild_real(
-                search.real_token, ready[0], traceparent=traceparent)
+            try:
+                token, sealed = self.enclave.rebuild_real(
+                    search.real_token, ready[0], traceparent=traceparent)
+            except KeyError:
+                # The channel vanished between establishment and
+                # sealing (a concurrent search blacklisted the same
+                # peer) or the pending entry is gone: retry elsewhere
+                # instead of crashing or hanging.
+                if search.retries_left > 0:
+                    self._schedule_retry(search)
+                else:
+                    self._finish(search, status="channel-failure", hits=[])
+                return
             search.real_token = token
+            search.real_relays.add(ready[0])
             cost = self.host.meter.take()
             self.network.simulator.schedule(
                 cost + self.config.client_request_overhead,
@@ -520,7 +619,14 @@ class CyclosaNode(NetNode):
 
     def _finish(self, search: ProtectedSearch, status: str,
                 hits: List[Dict[str, Any]]) -> None:
+        if search.done:
+            # Exactly-once delivery: late timeouts / duplicate
+            # responses must not re-fire on_result.
+            return
         search.done = True
+        self._searches.pop(search.search_id, None)
+        if search.real_relays & search.fake_relays:
+            self.stats.disjointness_violations += 1
         latency = self.network.simulator.now - search.issued_at
         if OBS.enabled:
             tracer = OBS.tracer
@@ -544,6 +650,10 @@ class CyclosaNode(NetNode):
             "status": status,
             "hits": hits,
             "latency": latency,
+            "search_id": search.search_id,
+            "retries": search.attempts,
+            "relays": {"real": sorted(search.real_relays),
+                       "fake": sorted(search.fake_relays)},
         })
 
     def _blacklist(self, peer: str) -> None:

@@ -1,0 +1,249 @@
+"""Deterministic fault plans (§III adversary model, §VI-b failure path).
+
+The paper lets remote peers "behave arbitrarily by crashing, being
+subject to bugs or being under the control of malicious adversaries"
+(§III), and answers with timeout → blacklist → retry (§VI-b). A
+:class:`FaultPlan` turns that adversary into something *systematically
+testable*: a seeded, composable set of fault specifications that the
+injector (:mod:`repro.faults.inject`) realises over a live deployment
+without touching any protocol code.
+
+Two families of faults exist:
+
+- **Link faults** (:class:`Drop`, :class:`Delay`, :class:`Duplicate`,
+  :class:`Corrupt`, :class:`CrashAfterReceive`) act on individual
+  messages crossing the simulated network, selected by a
+  :class:`MessageMatch` (endpoints + wire kind) inside an activation
+  window.
+- **Service faults** (:class:`DenyAttestation`,
+  :class:`RateLimitStorm`) act on deployment-wide services: the
+  simulated IAS and the engine's bot protection.
+
+Everything is a frozen dataclass: a plan is a value, equal plans
+produce byte-identical chaos reports, and a plan embedded in a test is
+self-describing. Randomised decisions (drop coin flips, jitter, the
+corrupted byte position) come from one ``random.Random(plan.seed)``
+owned by the injector — never from the deployment RNG, so installing a
+plan does not perturb latency sampling or relay selection of the run
+it observes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class MessageMatch:
+    """Selects messages by link endpoints and wire kind.
+
+    ``None`` fields match anything. *kind* matches exactly, or as a
+    prefix when it ends with ``"*"`` (``"cyclosa.fwd*"`` covers the
+    request kind and any future variants).
+    """
+
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    kind: Optional[str] = None
+
+    def matches(self, src: str, dst: str, kind: str) -> bool:
+        if self.src is not None and src != self.src:
+            return False
+        if self.dst is not None and dst != self.dst:
+            return False
+        if self.kind is not None:
+            if self.kind.endswith("*"):
+                if not kind.startswith(self.kind[:-1]):
+                    return False
+            elif kind != self.kind:
+                return False
+        return True
+
+    def describe(self) -> str:
+        return (f"{self.src or '*'}->{self.dst or '*'}"
+                f":{self.kind or '*'}")
+
+
+#: Matches every message.
+MATCH_ALL = MessageMatch()
+
+#: The client→relay forward request (the §VI-b retry trigger).
+FORWARD_REQUESTS = MessageMatch(kind="cyclosa.fwd.req")
+
+#: Every RPC response on its way back to a requester.
+RPC_RESPONSES = MessageMatch(kind="rpc.rsp")
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Base shape of a per-message fault: a match, a probability and
+    an activation window in simulated seconds."""
+
+    match: MessageMatch = MATCH_ALL
+    probability: float = 1.0
+    start: float = 0.0
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.end < self.start:
+            raise ValueError("fault window ends before it starts")
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+@dataclass(frozen=True)
+class Drop(LinkFault):
+    """Lose matching messages on the wire (never delivered)."""
+
+    name = "drop"
+
+
+@dataclass(frozen=True)
+class Delay(LinkFault):
+    """Hold matching messages for ``extra`` (+ up to ``jitter``)
+    additional seconds before delivery — slow relays, congested links."""
+
+    extra: float = 0.5
+    jitter: float = 0.0
+    name = "delay"
+
+
+@dataclass(frozen=True)
+class Duplicate(LinkFault):
+    """Deliver matching messages a second time, ``extra_delay``
+    seconds after the first copy (retransmission storms; exercises the
+    at-most-once RPC and replay-protection paths)."""
+
+    extra_delay: float = 0.05
+    name = "duplicate"
+
+
+@dataclass(frozen=True)
+class Corrupt(LinkFault):
+    """Flip one byte of matching ``bytes`` payloads at delivery; AEAD
+    opens then fail, so the receiver treats the record as tampered and
+    drops it (a Byzantine relay learns nothing, the sender times out)."""
+
+    name = "corrupt"
+
+
+@dataclass(frozen=True)
+class CrashAfterReceive:
+    """Mid-flight silence: *node*'s host crashes immediately after
+    receiving its ``after``-th message matching *trigger*.
+
+    The node consumes the triggering message (so the sender's record is
+    gone) but everything it tries to transmit from then on is dropped —
+    a crashed host cannot send. This is the nastiest §III behaviour for
+    a relay: it accepts the sealed record and then never forwards or
+    answers, leaving only the client-side timeout to recover.
+    """
+
+    node: str = ""
+    trigger: MessageMatch = FORWARD_REQUESTS
+    after: int = 1
+    name = "crash"
+
+    def __post_init__(self) -> None:
+        if not self.node:
+            raise ValueError("CrashAfterReceive needs a node address")
+        if self.after < 1:
+            raise ValueError("after must be >= 1")
+
+
+@dataclass(frozen=True)
+class DenyAttestation:
+    """IAS-level denial: quotes from *nodes* verify as revoked during
+    the window, so no new attested channel with them can be
+    established (§V-D handshakes fail, §VI-b must re-draw)."""
+
+    nodes: Tuple[str, ...] = ()
+    start: float = 0.0
+    end: float = math.inf
+    name = "attest-deny"
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("DenyAttestation needs node addresses")
+        if self.end < self.start:
+            raise ValueError("fault window ends before it starts")
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+@dataclass(frozen=True)
+class RateLimitStorm:
+    """Engine bot-protection storm: every request is answered with a
+    captcha during the window (§II-A4 taken to its worst case)."""
+
+    start: float = 0.0
+    end: float = math.inf
+    name = "ratelimit-storm"
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("fault window ends before it starts")
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+#: Message-level faults, in the order the injector applies them.
+LINK_FAULT_TYPES = (Drop, Delay, Duplicate, Corrupt, CrashAfterReceive)
+
+#: Deployment-service faults.
+SERVICE_FAULT_TYPES = (DenyAttestation, RateLimitStorm)
+
+
+def _describe_value(value: Any) -> Any:
+    if isinstance(value, MessageMatch):
+        return value.describe()
+    if isinstance(value, float) and math.isinf(value):
+        return "inf"
+    if isinstance(value, tuple):
+        return list(value)
+    return value
+
+
+def describe_fault(fault: Any) -> Dict[str, Any]:
+    """A stable, JSON-friendly description of one fault spec."""
+    out: Dict[str, Any] = {"fault": fault.name}
+    for spec in fields(fault):
+        out[spec.name] = _describe_value(getattr(fault, spec.name))
+    return out
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded composition of faults.
+
+    The plan is pure data; :func:`repro.faults.inject.install` makes
+    it real. The same (plan, deployment seed) pair always produces the
+    same run, which is what lets the chaos gate record success-rate
+    floors and the CLI emit byte-identical reports.
+    """
+
+    seed: int = 0
+    faults: Tuple[Any, ...] = ()
+
+    def __post_init__(self) -> None:
+        for fault in self.faults:
+            if not isinstance(fault, LINK_FAULT_TYPES + SERVICE_FAULT_TYPES):
+                raise TypeError(f"not a fault spec: {fault!r}")
+
+    def link_faults(self) -> List[Any]:
+        return [f for f in self.faults if isinstance(f, LINK_FAULT_TYPES)]
+
+    def service_faults(self) -> List[Any]:
+        return [f for f in self.faults if isinstance(f, SERVICE_FAULT_TYPES)]
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-friendly plan description (embedded in chaos reports)."""
+        return {"seed": self.seed,
+                "faults": [describe_fault(f) for f in self.faults]}

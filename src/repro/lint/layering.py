@@ -36,7 +36,7 @@ PROTECTED_PACKAGES = frozenset({
 
 #: Top-layer packages/modules no protected package may depend on.
 TOP_LAYER = frozenset({"cli", "experiments", "baselines", "perf",
-                       "__main__"})
+                       "faults", "__main__"})
 
 _OBS_FACADE = "repro.obs"
 

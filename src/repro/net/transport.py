@@ -250,6 +250,11 @@ class NetNode:
         self.network = network
         self.address = address
         self._pending: Dict[int, _PendingRequest] = {}
+        # Requests lost on the wire get locally-allocated *negative*
+        # correlation ids: network msg ids start at 1, so a late or
+        # duplicated rpc.rsp can never collide with a lost request's
+        # bookkeeping entry.
+        self._lost_ids = itertools.count(1)
         network.register(self)
 
     # -- outgoing --------------------------------------------------------
@@ -274,8 +279,19 @@ class NetNode:
             self.address, dst, f"{kind}.req", payload, size_bytes)
         if message is None:
             # Lost on the wire: only the timeout can save the caller.
-            if timeout is not None and on_timeout is not None:
-                self.network.simulator.schedule(timeout, on_timeout)
+            # Bookkeeping mirrors the delivered path — a registered
+            # pending entry with a *cancellable* timeout handle — so
+            # the correlation table never diverges between the two
+            # branches (a duplicated delivery of some other response
+            # finds exactly the same state either way).
+            if timeout is None or on_timeout is None:
+                return
+            request_id = -next(self._lost_ids)
+            pending = _PendingRequest(on_reply=on_reply,
+                                      on_timeout=on_timeout)
+            pending.timeout_handle = self.network.simulator.schedule(
+                timeout, lambda: self._expire(request_id))
+            self._pending[request_id] = pending
             return
         pending = _PendingRequest(on_reply=on_reply, on_timeout=on_timeout)
         if timeout is not None:

@@ -15,7 +15,8 @@ class TestSearchResult:
         assert result.documents == ["u1", "u2"]
 
     def test_failure_states(self):
-        for status in ("captcha", "relay-failure", "no-peers", "timeout"):
+        for status in ("captcha", "relay-failure", "no-peers",
+                       "channel-failure", "timeout"):
             result = SearchResult(query="q", k=0, status=status, hits=[],
                                   latency=1.0)
             assert not result.ok
@@ -63,5 +64,6 @@ class TestDeploymentOptions:
             deployment.network.unregister(victim.address)
         result = deployment.node(0).search("will time out",
                                            k_override=1, max_wait=0.5)
-        assert result.status in ("timeout", "relay-failure", "no-peers")
+        assert result.status in ("timeout", "relay-failure", "no-peers",
+                                 "channel-failure")
         assert not result.ok

@@ -1,0 +1,158 @@
+"""§VI-b retry-path hardening: every issued search terminates with an
+explicit status, retries back off through fresh relays, and the real
+query's relay set stays disjoint from the fake legs across retries."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.client import CyclosaNetwork
+from repro.core.config import CyclosaConfig
+from repro.faults.inject import install
+from repro.faults.plan import (CrashAfterReceive, Delay, DenyAttestation,
+                               Drop, FaultPlan, FORWARD_REQUESTS, MATCH_ALL)
+
+TERMINAL = ("ok", "captcha", "no-peers", "relay-failure", "channel-failure")
+
+
+def drop_forwards(node) -> None:
+    """Make *node*'s host silently discard forward requests (§III)."""
+    node._handle_forward = lambda ctx: None
+
+
+def collected_search(deployment, index, query, **kwargs):
+    """Issue a search via the raw node API and run it to completion;
+    returns the full on_result dict (the facade hides relays/retries)."""
+    holder = {}
+    deployment.nodes[index].search(query, on_result=holder.update, **kwargs)
+    deployment.run(300.0)
+    return holder
+
+
+class TestRetryPath:
+    def test_timeout_blacklist_retry_success_under_churn(self):
+        """Flaky relays and mid-run churn: the timeout → blacklist →
+        retry machinery recovers and the result still arrives."""
+        config = CyclosaConfig(relay_timeout=1.0, max_retries=4)
+        deployment = CyclosaNetwork.create(num_nodes=12, seed=81,
+                                           config=config, warmup_seconds=40)
+        for node in deployment.nodes[6:]:
+            drop_forwards(node)
+        # Churn one silent relay out entirely mid-run.
+        victim = deployment.nodes[6]
+        victim.pss.stop()
+        deployment.network.unregister(victim.address)
+        client = deployment.nodes[0]
+        results = [collected_search(deployment, 0, f"churn probe {i}",
+                                    k_override=2) for i in range(6)]
+        assert all(r["status"] in TERMINAL for r in results)
+        assert sum(1 for r in results if r["status"] == "ok") >= 5
+        assert client.stats.retries > 0
+        assert client.stats.blacklisted_peers > 0
+        assert client.outstanding_searches() == []
+
+    def test_retry_exhaustion_ends_in_relay_failure(self):
+        """Every relay is silent and the budget runs out: the search
+        must end with ``relay-failure`` (or exhaust the view), never
+        hang."""
+        config = CyclosaConfig(relay_timeout=1.0, max_retries=1)
+        deployment = CyclosaNetwork.create(num_nodes=8, seed=82,
+                                           config=config, warmup_seconds=40)
+        for node in deployment.nodes[1:]:
+            drop_forwards(node)
+        result = collected_search(deployment, 0, "doomed probe",
+                                  k_override=1)
+        assert result["status"] in ("relay-failure", "no-peers")
+        assert result["retries"] >= 1
+        assert deployment.nodes[0].outstanding_searches() == []
+
+    def test_view_exhaustion_ends_in_no_peers(self):
+        """The retry draw excludes every relay the search already used;
+        when that covers the whole view, the search ends ``no-peers``."""
+        config = CyclosaConfig(relay_timeout=1.0, max_retries=3)
+        deployment = CyclosaNetwork.create(num_nodes=4, seed=83,
+                                           config=config, warmup_seconds=40)
+        for node in deployment.nodes[1:]:
+            drop_forwards(node)
+        # k=2 uses all 3 relays up front; the retry has nowhere to go.
+        result = collected_search(deployment, 0, "exhausted probe",
+                                  k_override=2)
+        assert result["status"] == "no-peers"
+        assert deployment.nodes[0].outstanding_searches() == []
+
+    def test_channel_failure_when_attestation_denied_on_retry(self):
+        """Channels exist from an earlier search, the relay goes
+        silent, and the IAS refuses every new handshake: the retry
+        cannot re-establish a channel and the search must end with the
+        distinct ``channel-failure`` status instead of dropping."""
+        config = CyclosaConfig(relay_timeout=1.0, max_retries=2)
+        deployment = CyclosaNetwork.create(num_nodes=8, seed=84,
+                                           config=config, warmup_seconds=40)
+        first = collected_search(deployment, 0, "warm channels probe",
+                                 k_override=1)
+        assert first["status"] == "ok"
+        relays = [n.address for n in deployment.nodes[1:]]
+        installed = install(
+            FaultPlan(faults=(DenyAttestation(nodes=tuple(relays)),)),
+            deployment)
+        for node in deployment.nodes[1:]:
+            drop_forwards(node)
+        result = collected_search(deployment, 0, "denied probe",
+                                  k_override=1)
+        installed.uninstall()
+        assert result["status"] == "channel-failure"
+        assert deployment.nodes[0].outstanding_searches() == []
+
+
+class TestRelayDisjointness:
+    def test_retries_never_reuse_fake_leg_relays(self):
+        """§V: one record per relay — across every retry, the real
+        query's relays and the fake legs' relays never intersect."""
+        config = CyclosaConfig(relay_timeout=1.0, max_retries=4)
+        deployment = CyclosaNetwork.create(num_nodes=12, seed=85,
+                                           config=config, warmup_seconds=40)
+        for node in deployment.nodes[5:]:
+            drop_forwards(node)
+        client = deployment.nodes[0]
+        results = [collected_search(deployment, 0, f"disjoint probe {i}",
+                                    k_override=3) for i in range(6)]
+        assert any(r["retries"] > 0 for r in results)  # path exercised
+        for result in results:
+            assert not set(result["relays"]["real"]) & set(
+                result["relays"]["fake"])
+        assert client.stats.disjointness_violations == 0
+
+
+class TestExactlyOnceUnderFaults:
+    @settings(max_examples=8, deadline=None)
+    @given(plan_seed=st.integers(0, 2 ** 16),
+           drop_p=st.floats(0.0, 0.4),
+           extra=st.floats(0.0, 1.0),
+           crash=st.booleans())
+    def test_on_result_fires_exactly_once_per_search(
+            self, plan_seed, drop_p, extra, crash):
+        """Whatever the injected plan does, every issued search fires
+        ``on_result`` exactly once and none is left outstanding."""
+        config = CyclosaConfig(relay_timeout=1.0, max_retries=2)
+        deployment = CyclosaNetwork.create(num_nodes=6, seed=86,
+                                           config=config, warmup_seconds=40)
+        faults = [Drop(match=MATCH_ALL, probability=drop_p),
+                  Delay(match=FORWARD_REQUESTS, extra=extra,
+                        probability=0.5)]
+        if crash:
+            faults.append(
+                CrashAfterReceive(node=deployment.nodes[1].address))
+        installed = install(
+            FaultPlan(seed=plan_seed, faults=tuple(faults)), deployment)
+        fired = []
+        client = deployment.nodes[0]
+        for index in range(3):
+            client.search(f"property probe {index}",
+                          on_result=lambda r: fired.append(r["search_id"]),
+                          k_override=1)
+            deployment.run(60.0)
+        deployment.run(300.0)
+        installed.uninstall()
+        assert len(fired) == 3
+        assert len(set(fired)) == 3  # exactly once each, never twice
+        assert client.outstanding_searches() == []

@@ -1,0 +1,15 @@
+"""Fault-test hygiene: the OBS singleton is process-global, so every
+test leaves it disabled and empty for whoever runs next."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    obs.disable(reset=True)
+    yield
+    obs.disable(reset=True)

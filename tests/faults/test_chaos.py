@@ -1,0 +1,64 @@
+"""Tests for repro.faults.chaos: the fault-matrix harness, its two
+invariants and the byte-identical report guarantee."""
+
+import pytest
+
+from repro.faults import chaos
+
+pytestmark = pytest.mark.chaos
+
+#: Matrix scale for tests: small but large enough that faults fire.
+SCALE = dict(num_nodes=6, queries=2, seed=11)
+
+
+class TestMatrixShape:
+    def test_default_matrix_covers_every_fault_family(self):
+        names = [cell.name for cell in chaos.default_matrix()]
+        assert names[0] == "baseline"
+        for expected in ("drop-forward", "slow-relays", "duplicate-storm",
+                         "corrupt-forward", "crash-after-receive",
+                         "attest-deny", "ratelimit-storm", "combo"):
+            assert expected in names
+
+    def test_matrix_cells_filters_in_matrix_order(self):
+        cells = chaos.matrix_cells(["combo", "baseline"])
+        assert [c.name for c in cells] == ["baseline", "combo"]
+
+    def test_unknown_cell_rejected(self):
+        with pytest.raises(ValueError):
+            chaos.matrix_cells(["no-such-cell"])
+
+
+class TestRunCell:
+    def test_baseline_cell_succeeds_cleanly(self):
+        row = chaos.run_cell(chaos.matrix_cells(["baseline"])[0], **SCALE)
+        assert row["success_rate"] == 1.0
+        assert row["hung_searches"] == 0
+        assert row["disjointness_violations"] == 0
+        assert row["faults_injected"] == {}
+
+    def test_faulted_cell_terminates_every_search(self):
+        row = chaos.run_cell(
+            chaos.matrix_cells(["combo"], plan_seed=3)[0], **SCALE)
+        # Faults actually fired, yet nothing hung and no real-query
+        # retry ever reused a fake-leg relay (the §VI-b invariants).
+        assert row["faults_injected"]
+        assert sum(row["statuses"].values()) == row["queries"]
+        assert row["hung_searches"] == 0
+        assert row["disjointness_violations"] == 0
+
+    def test_ratelimit_storm_fails_terminally_not_hangs(self):
+        row = chaos.run_cell(
+            chaos.matrix_cells(["ratelimit-storm"])[0], **SCALE)
+        assert row["statuses"] == {"captcha": row["queries"]}
+        assert row["hung_searches"] == 0
+
+
+class TestDeterminism:
+    def test_report_json_byte_identical_across_runs(self):
+        def run():
+            return chaos.report_json(chaos.run_matrix(
+                chaos.matrix_cells(["baseline", "drop-forward", "combo"],
+                                   plan_seed=3), **SCALE))
+
+        assert run() == run()

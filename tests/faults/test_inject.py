@@ -1,0 +1,176 @@
+"""Tests for repro.faults.inject: each interceptor on a raw transport,
+plus install/uninstall hygiene and the obs wiring."""
+
+import random
+
+import pytest
+
+from repro.faults.inject import FaultInjectionError, FaultInjector, install
+from repro.faults.plan import (Corrupt, CrashAfterReceive, Delay,
+                               DenyAttestation, Drop, Duplicate, FaultPlan,
+                               MessageMatch)
+from repro.net.latency import ConstantLatency
+from repro.net.simulator import Simulator
+from repro.net.transport import Network, NetNode
+
+DATA = MessageMatch(kind="data")
+
+
+class Recorder(NetNode):
+    def __init__(self, network, address):
+        super().__init__(network, address)
+        self.datagrams = []
+
+    def handle_datagram(self, message):
+        self.datagrams.append(message)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def net(sim):
+    return Network(sim, random.Random(0),
+                   default_latency=ConstantLatency(0.01))
+
+
+def installed(net, *faults, seed=0):
+    return FaultInjector(net, FaultPlan(seed=seed, faults=faults)).install()
+
+
+class TestLinkFaults:
+    def test_drop_loses_matching_messages(self, net, sim):
+        injector = installed(net, Drop(match=DATA))
+        a = Recorder(net, "a")
+        b = Recorder(net, "b")
+        a.send("b", "data", "x")
+        a.send("b", "other", "y")
+        sim.run()
+        assert [m.kind for m in b.datagrams] == ["other"]
+        assert injector.counts == {"drop": 1}
+        assert net.stats.dropped == 1
+
+    def test_delay_applies_once(self, net, sim):
+        installed(net, Delay(match=DATA, extra=0.5))
+        a = Recorder(net, "a")
+        b = Recorder(net, "b")
+        a.send("b", "data", "x")
+        sim.run()
+        # One base flight plus exactly one injected 0.5s hold — the
+        # re-entering delivery must not be delayed a second time.
+        assert len(b.datagrams) == 1
+        assert sim.now == pytest.approx(0.51)
+
+    def test_duplicate_delivers_twice(self, net, sim):
+        injector = installed(net, Duplicate(match=DATA, extra_delay=0.2))
+        a = Recorder(net, "a")
+        b = Recorder(net, "b")
+        a.send("b", "data", "x")
+        sim.run()
+        assert [m.payload for m in b.datagrams] == ["x", "x"]
+        assert injector.counts == {"duplicate": 1}
+
+    def test_corrupt_flips_exactly_one_byte(self, net, sim):
+        injector = installed(net, Corrupt(match=DATA))
+        a = Recorder(net, "a")
+        b = Recorder(net, "b")
+        original = b"sealed record payload"
+        a.send("b", "data", original)
+        sim.run()
+        (received,) = b.datagrams
+        assert len(received.payload) == len(original)
+        assert received.payload != original
+        differing = [i for i, (x, y) in
+                     enumerate(zip(original, received.payload)) if x != y]
+        assert len(differing) == 1
+        assert injector.counts == {"corrupt": 1}
+
+    def test_corrupt_skips_non_bytes_payloads(self, net, sim):
+        injector = installed(net, Corrupt(match=DATA))
+        a = Recorder(net, "a")
+        b = Recorder(net, "b")
+        a.send("b", "data", {"not": "bytes"})
+        sim.run()
+        assert b.datagrams[0].payload == {"not": "bytes"}
+        assert injector.counts == {}
+
+    def test_crash_after_receive_silences_node(self, net, sim):
+        injector = installed(
+            net, CrashAfterReceive(node="b", trigger=DATA, after=1))
+        a = Recorder(net, "a")
+        b = Recorder(net, "b")
+        a.send("b", "data", "trigger")
+        sim.run()
+        # b consumed the trigger (the sender's copy is gone)...
+        assert len(b.datagrams) == 1
+        # ...but is dead now: nothing it sends ever arrives.
+        b.send("a", "data", "from the grave")
+        sim.run()
+        assert a.datagrams == []
+        assert injector.counts == {"crash": 1, "silence": 1}
+        assert "b" in injector.silenced
+
+    def test_inactive_window_injects_nothing(self, net, sim):
+        injector = installed(net, Drop(match=DATA, start=100.0))
+        a = Recorder(net, "a")
+        b = Recorder(net, "b")
+        a.send("b", "data", "x")
+        sim.run()
+        assert len(b.datagrams) == 1
+        assert injector.counts == {}
+
+
+class TestLifecycle:
+    def test_uninstall_restores_network(self, net, sim):
+        orig_send, orig_deliver = net.send, net._deliver
+        injector = installed(net, Drop(match=DATA))
+        assert net.send != orig_send
+        injector.uninstall()
+        assert net.send == orig_send
+        assert net._deliver == orig_deliver
+        a = Recorder(net, "a")
+        b = Recorder(net, "b")
+        a.send("b", "data", "x")
+        sim.run()
+        assert len(b.datagrams) == 1
+
+    def test_double_install_rejected(self, net):
+        injector = installed(net)
+        with pytest.raises(FaultInjectionError):
+            injector.install()
+
+    def test_fault_rng_is_not_the_deployment_rng(self, net, sim):
+        # Installing a plan must not perturb the run it observes: the
+        # deployment RNG stream is identical with and without faults.
+        installed(net, Drop(match=DATA, probability=0.5), seed=123)
+        before = random.Random(0).random()
+        assert net.rng.random() == before
+
+    def test_deny_attestation_unknown_node_rejected(self):
+        from repro.core.client import CyclosaNetwork
+
+        deployment = CyclosaNetwork.create(num_nodes=3, seed=5,
+                                           warmup_seconds=0)
+        plan = FaultPlan(faults=(DenyAttestation(nodes=("ghost",)),))
+        with pytest.raises(FaultInjectionError):
+            install(plan, deployment)
+
+
+class TestObsWiring:
+    def test_injections_counted_in_obs(self, sim):
+        from repro import obs
+
+        obs.enable(simulator=sim)
+        net = Network(sim, random.Random(0),
+                      default_latency=ConstantLatency(0.01))
+        installed(net, Drop(match=DATA))
+        a = Recorder(net, "a")
+        Recorder(net, "b")
+        a.send("b", "data", "x")
+        sim.run()
+        counter = obs.OBS.registry.counter(
+            "cyclosa_faults_injected_total",
+            "faults injected by repro.faults, by kind", fault="drop")
+        assert counter.value == 1

@@ -1,0 +1,114 @@
+"""Tests for repro.faults.plan: matching, validation, description."""
+
+import json
+import math
+
+import pytest
+
+from repro.faults.plan import (Corrupt, CrashAfterReceive, Delay,
+                               DenyAttestation, Drop, Duplicate, FaultPlan,
+                               FORWARD_REQUESTS, MATCH_ALL, MessageMatch,
+                               RateLimitStorm, describe_fault)
+
+
+class TestMessageMatch:
+    def test_match_all_matches_everything(self):
+        assert MATCH_ALL.matches("a", "b", "anything.at.all")
+
+    def test_exact_kind(self):
+        match = MessageMatch(kind="rpc.rsp")
+        assert match.matches("a", "b", "rpc.rsp")
+        assert not match.matches("a", "b", "rpc.req")
+
+    def test_kind_prefix_wildcard(self):
+        match = MessageMatch(kind="cyclosa.fwd*")
+        assert match.matches("a", "b", "cyclosa.fwd.req")
+        assert match.matches("a", "b", "cyclosa.fwd")
+        assert not match.matches("a", "b", "cyclosa.other")
+
+    def test_endpoint_filters(self):
+        match = MessageMatch(src="a", dst="b")
+        assert match.matches("a", "b", "x")
+        assert not match.matches("a", "c", "x")
+        assert not match.matches("c", "b", "x")
+
+    def test_describe_uses_stars_for_wildcards(self):
+        assert MATCH_ALL.describe() == "*->*:*"
+        assert MessageMatch(src="a", kind="k").describe() == "a->*:k"
+
+
+class TestValidation:
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Drop(probability=1.5)
+        with pytest.raises(ValueError):
+            Drop(probability=-0.1)
+
+    def test_window_ending_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            Delay(start=10.0, end=5.0)
+        with pytest.raises(ValueError):
+            DenyAttestation(nodes=("n",), start=10.0, end=5.0)
+        with pytest.raises(ValueError):
+            RateLimitStorm(start=10.0, end=5.0)
+
+    def test_crash_needs_node_and_positive_after(self):
+        with pytest.raises(ValueError):
+            CrashAfterReceive()
+        with pytest.raises(ValueError):
+            CrashAfterReceive(node="n", after=0)
+
+    def test_deny_attestation_needs_nodes(self):
+        with pytest.raises(ValueError):
+            DenyAttestation()
+
+    def test_plan_rejects_non_fault_entries(self):
+        with pytest.raises(TypeError):
+            FaultPlan(faults=("not a fault",))
+
+    def test_activation_window_half_open(self):
+        fault = Drop(start=1.0, end=2.0)
+        assert not fault.active(0.5)
+        assert fault.active(1.0)
+        assert not fault.active(2.0)
+
+
+class TestPlanSplit:
+    def test_link_and_service_faults_partition(self):
+        plan = FaultPlan(seed=3, faults=(
+            Drop(match=FORWARD_REQUESTS),
+            Duplicate(),
+            DenyAttestation(nodes=("n",)),
+            RateLimitStorm(),
+            CrashAfterReceive(node="n"),
+        ))
+        assert [f.name for f in plan.link_faults()] == [
+            "drop", "duplicate", "crash"]
+        assert [f.name for f in plan.service_faults()] == [
+            "attest-deny", "ratelimit-storm"]
+
+
+class TestDescribe:
+    def test_describe_fault_is_json_friendly(self):
+        description = describe_fault(
+            DenyAttestation(nodes=("a", "b"), start=0.0))
+        assert description["fault"] == "attest-deny"
+        assert description["nodes"] == ["a", "b"]
+        assert description["end"] == "inf"
+        json.dumps(description)  # must encode without a custom encoder
+
+    def test_describe_embeds_match(self):
+        description = describe_fault(Corrupt(match=FORWARD_REQUESTS))
+        assert description["match"] == "*->*:cyclosa.fwd.req"
+
+    def test_equal_plans_describe_identically(self):
+        def build():
+            return FaultPlan(seed=9, faults=(
+                Drop(match=FORWARD_REQUESTS, probability=0.25),
+                Delay(extra=0.4, jitter=0.2, end=math.inf),
+                CrashAfterReceive(node="node003"),
+            ))
+
+        first = json.dumps(build().describe(), sort_keys=True)
+        second = json.dumps(build().describe(), sort_keys=True)
+        assert first == second

@@ -224,3 +224,67 @@ class TestCrashedHostSemantics:
         rejoined.send("b", "data", "back")
         sim.run()
         assert b.datagrams and b.datagrams[-1].payload == "back"
+
+
+class TestLostOnWireRequests:
+    """A request lost on the wire must leave the same bookkeeping as
+    one whose response never comes: a registered pending entry with a
+    cancellable timeout handle."""
+
+    def lost_sender(self, net):
+        """A node whose sends are all lost (departed-host semantics)."""
+        node = EchoNode(net, "a")
+        net.unregister("a")
+        return node
+
+    def test_lost_request_times_out(self, net, sim):
+        a = self.lost_sender(net)
+        EchoNode(net, "b")
+        timeouts = []
+        a.request("b", "q", lambda r: None, timeout=1.0,
+                  on_timeout=lambda: timeouts.append(1))
+        sim.run()
+        assert timeouts == [1]
+        assert sim.now == pytest.approx(1.0)
+
+    def test_lost_request_registers_cancellable_pending_entry(self, net,
+                                                              sim):
+        a = self.lost_sender(net)
+        EchoNode(net, "b")
+        timeouts = []
+        a.request("b", "q", lambda r: None, timeout=5.0,
+                  on_timeout=lambda: timeouts.append(1))
+        ((request_id, pending),) = a._pending.items()
+        # Negative local id: can never collide with a network msg_id.
+        assert request_id < 0
+        assert pending.timeout_handle is not None
+        pending.timeout_handle.cancel()
+        del a._pending[request_id]
+        sim.run()
+        assert timeouts == []
+
+    def test_lost_request_without_timeout_keeps_no_state(self, net, sim):
+        a = self.lost_sender(net)
+        EchoNode(net, "b")
+        a.request("b", "q", lambda r: None)
+        assert a._pending == {}
+        assert not sim.step()  # nothing scheduled either
+
+    def test_lost_entry_does_not_capture_other_responses(self, sim, rng):
+        net = Network(sim, rng, default_latency=ConstantLatency(0.01),
+                      loss_probability=0.9)
+        a = EchoNode(net, "a")
+        EchoNode(net, "b")
+        timeouts, replies = [], []
+        # Random(0)'s first draw is ~0.84 < 0.9: deterministically lost.
+        a.request("b", "lost", replies.append, timeout=5.0,
+                  on_timeout=lambda: timeouts.append("lost"))
+        assert len(a._pending) == 1
+        net.loss_probability = 0.0
+        a.request("b", "real", replies.append, timeout=5.0,
+                  on_timeout=lambda: timeouts.append("real"))
+        sim.run()
+        # The real reply resolved only its own entry; the lost
+        # request's entry survived until its own timeout fired.
+        assert replies == [{"echo": "real"}]
+        assert timeouts == ["lost"]
