@@ -1,0 +1,113 @@
+"""SLO gate: the flight recorder must stay deterministic and sharp.
+
+Runs the ``repro monitor`` churn+chaos soak **twice** at the default
+scale and fails (exit code 1) when any invariant breaks:
+
+- **non-determinism** — the two same-seed runs' JSON reports are not
+  byte-identical (the recorder's windows, the SLO evaluation or the
+  scenario itself picked up wall-clock or unseeded state);
+- **hung search** — a protected search survived the drain without a
+  terminal status (the §VI-b guarantee, watched per-window here);
+- **storm missed** — the ``search-success`` burn-rate monitor failed
+  to alert on the injected rate-limit storm, alerted *before* the
+  storm began, or kept alerting for longer than the policy's short
+  range past its end (the monitor must localise the incident, not
+  just notice the run was bad);
+- **collateral breach** — the latency or backlog rule breached: the
+  storm makes captchas, it must not make queues.
+
+Run it from the repo root::
+
+    PYTHONPATH=src python -m benchmarks.check_slo
+    PYTHONPATH=src python -m benchmarks.check_slo --json
+
+Everything is seeded and measured in simulated time, so both runs —
+and the printed report — are machine-independent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import monitor
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="check_slo",
+        description="run the monitor soak twice and enforce the "
+                    "determinism / no-hang / storm-localisation "
+                    "invariants")
+    parser.add_argument("--json", action="store_true",
+                        help="dump the deterministic scenario report")
+    args = parser.parse_args(argv)
+
+    report = monitor.run_scenario()
+    first = monitor.report_json(report)
+    second = monitor.report_json(monitor.run_scenario())
+
+    if args.json:
+        print(first)
+    else:
+        print(monitor.format_dashboard(report))
+
+    failures: List[str] = []
+    if first != second:
+        failures.append(
+            "same-seed runs diverged: the JSON reports are not "
+            "byte-identical (non-deterministic telemetry)")
+
+    hung = report["traffic"]["hung_searches"]
+    if hung:
+        failures.append(
+            f"{hung} hung search(es) — a protected search never "
+            "reached a terminal status")
+
+    storm_lo, storm_hi = report["scenario"]["storm"]["windows"]
+    tail = monitor.default_slo_spec(
+        report["scenario"]["window_seconds"]).policy.short_windows
+    success = next(r for r in report["slo"]["rules"]
+                   if r["rule"] == "search-success")
+    if not success["alert_ranges"]:
+        failures.append(
+            "search-success: the burn-rate monitor never alerted on "
+            f"the injected storm (windows {storm_lo}..{storm_hi})")
+    for lo, hi in success["alert_ranges"]:
+        if lo < storm_lo:
+            failures.append(
+                f"search-success: alert window {lo} precedes the storm "
+                f"(starts at window {storm_lo}) — false positive")
+        if hi > storm_hi + tail:
+            failures.append(
+                f"search-success: alert window {hi} outlasts the storm "
+                f"by more than the short range ({storm_hi}+{tail})")
+    if success["alert_ranges"] and not any(
+            lo <= storm_hi and hi >= storm_lo
+            for lo, hi in success["alert_ranges"]):
+        failures.append(
+            "search-success: alerts never overlap the storm windows "
+            f"{storm_lo}..{storm_hi}")
+
+    for name in ("search-latency", "backlog-bounded"):
+        rule = next(r for r in report["slo"]["rules"] if r["rule"] == name)
+        if rule["verdict"] != "ok":
+            failures.append(
+                f"{name}: breached (alerts {rule['alert_ranges']}) — "
+                "the storm must cost success rate, not queues")
+
+    if failures:
+        print("\nSLO GATE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nslo gate ok: {len(report['windows'])} windows, "
+          "byte-identical reports, zero hung searches, storm "
+          f"localised to windows {storm_lo}..{storm_hi} "
+          f"(alerted {success['alert_ranges']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

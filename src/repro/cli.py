@@ -19,6 +19,10 @@ Commands:
 - ``chaos``                     — run the seeded fault-matrix sweep
   over the protected-search pipeline and report success rate /
   retries / latency per cell (see ``docs/robustness.md``).
+- ``monitor``                   — run the churn+chaos soak under the
+  time-series flight recorder: per-window dashboard, deterministic
+  JSON report or OpenMetrics series, plus the SLO burn-rate verdict
+  (see ``docs/observability.md``).
 
 Examples::
 
@@ -32,6 +36,9 @@ Examples::
     python -m repro lint --format json src/repro/core
     python -m repro chaos
     python -m repro chaos --cells combo ratelimit-storm --json
+    python -m repro monitor
+    python -m repro monitor --json
+    python -m repro monitor --format openmetrics
 """
 
 from __future__ import annotations
@@ -236,7 +243,8 @@ def _cmd_perf(args) -> int:
     results = perf.run_all(
         history_size=args.history, probes=args.probes,
         num_events=args.events, num_nodes=args.nodes,
-        searches=args.searches, seed=args.seed)
+        searches=args.searches, monitor_windows=args.monitor_windows,
+        seed=args.seed)
     print(perf.format_report(results))
     if not args.no_write:
         perf.write_baseline(results, args.output)
@@ -330,6 +338,54 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_monitor(args) -> int:
+    """Run the churn+chaos soak under the flight recorder."""
+    from repro.experiments import monitor
+
+    report = monitor.run_scenario(
+        num_nodes=args.nodes, seed=args.seed, plan_seed=args.plan_seed,
+        duration=args.duration, window_seconds=args.window,
+        query_interval=args.interval, clients=args.clients, k=args.k)
+    if args.format == "json":
+        print(monitor.report_json(report))
+    elif args.format == "openmetrics":
+        from repro import obs
+
+        windows = _windows_from_report(report)
+        print(obs.openmetrics_timeseries(windows), end="")
+    else:
+        print(monitor.format_dashboard(report))
+    if report["traffic"]["hung_searches"]:
+        print(f"\nBROKEN INVARIANT: "
+              f"{report['traffic']['hung_searches']} hung searches",
+              file=sys.stderr)
+        return 1
+    if args.strict and report["slo"]["verdict"] != "ok":
+        return 1
+    return 0
+
+
+def _windows_from_report(report) -> list:
+    """Rebuild Window rows from a report's window dicts (CLI-side glue
+    so the OpenMetrics dump reuses the one exporter)."""
+    from repro import obs
+
+    windows = []
+    for row in report["windows"]:
+        windows.append(obs.Window(
+            index=row["index"], start=row["start"], end=row["end"],
+            counters=row["counters"], cumulative=row["cumulative"],
+            gauges=row["gauges"],
+            histograms={
+                key: obs.WindowHistogram(
+                    count=value["count"], sum=value["sum"], buckets=(),
+                    quantiles={name: number
+                               for name, number in value.items()
+                               if name not in ("count", "sum")})
+                for key, value in row["histograms"].items()}))
+    return windows
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -388,6 +444,9 @@ def build_parser() -> argparse.ArgumentParser:
                              help="overlay size (default 16)")
     perf_parser.add_argument("--searches", type=int, default=None,
                              help="end-to-end searches (default 25)")
+    perf_parser.add_argument("--monitor-windows", type=int, default=None,
+                             help="flight-recorder flush windows "
+                                  "(default 400)")
     perf_parser.add_argument("--seed", type=int, default=None)
     perf_parser.add_argument("--output", default="BENCH_pipeline.json",
                              help="baseline path (default ./BENCH_pipeline.json)")
@@ -439,6 +498,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the deterministic per-cell JSON report instead of "
              "the table (byte-identical for identical arguments)")
 
+    monitor_parser = subparsers.add_parser(
+        "monitor", help="run the churn+chaos soak under the time-series "
+                        "flight recorder and report SLO health "
+                        "(docs/observability.md)")
+    monitor_parser.add_argument("--nodes", type=int, default=12,
+                                help="overlay size (default 12)")
+    monitor_parser.add_argument("--clients", type=int, default=4,
+                                help="nodes issuing searches (default 4)")
+    monitor_parser.add_argument("--seed", type=int, default=11,
+                                help="deployment seed (default 11)")
+    monitor_parser.add_argument("--plan-seed", type=int, default=3,
+                                help="fault-plan seed (default 3)")
+    monitor_parser.add_argument("--duration", type=float, default=200.0,
+                                help="traffic duration in simulated "
+                                     "seconds (default 200)")
+    monitor_parser.add_argument("--window", type=float, default=10.0,
+                                help="aggregation window width in "
+                                     "simulated seconds (default 10)")
+    monitor_parser.add_argument("--interval", type=float, default=2.0,
+                                help="seconds between searches (default 2)")
+    monitor_parser.add_argument("--k", type=int, default=2,
+                                help="fake queries per search (default 2)")
+    monitor_parser.add_argument(
+        "--format", choices=("dash", "json", "openmetrics"),
+        default="dash",
+        help="dash = per-window terminal dashboard, json = the "
+             "deterministic report (byte-identical for identical "
+             "arguments), openmetrics = the windowed series as "
+             "OpenMetrics text with timestamps")
+    monitor_parser.add_argument(
+        "--json", dest="format", action="store_const", const="json",
+        help="shorthand for --format json")
+    monitor_parser.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 when the SLO verdict is breached (hung searches "
+             "always exit 1)")
+
     return parser
 
 
@@ -467,6 +563,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_lint(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "monitor":
+        return _cmd_monitor(args)
     parser.print_help()
     return 0
 

@@ -14,6 +14,7 @@ until the result lands.
 from __future__ import annotations
 
 import random
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -88,6 +89,36 @@ class CyclosaUser:
 
     def preload_history(self, queries: List[str]) -> None:
         self.node.preload_history(queries)
+
+
+def _register_backlog_collector(registry, deployment: "CyclosaNetwork") -> None:
+    """Bridge ``outstanding_searches()`` into the registry as a
+    pull-based gauge.
+
+    Registered on ``observe=True`` deployments so backlog depth is
+    visible to snapshots, the time-series layer and the chaos matrix
+    without per-event plumbing: the gauges are refreshed only when the
+    registry is collected, never on the search hot path. The collector
+    holds a weak reference — once the deployment is garbage, it stops
+    touching the gauges (and ``enable(fresh=True)`` carrying it into a
+    later run's registry stays harmless)."""
+    ref = weakref.ref(deployment)
+
+    def collect(reg) -> None:
+        dep = ref()
+        if dep is None:
+            return
+        reg.gauge(
+            "cyclosa_core_outstanding_searches",
+            "protected searches issued but not yet terminal, summed "
+            "over all nodes (pull gauge over outstanding_searches())",
+        ).set(sum(node.outstanding_count() for node in dep.nodes))
+        reg.gauge(
+            "cyclosa_net_pending_events",
+            "future events on the deployment's simulator heap",
+        ).set(dep.simulator.pending)
+
+    registry.register_collector(collect)
 
 
 @dataclass
@@ -210,6 +241,10 @@ class CyclosaNetwork:
         deployment = cls(
             simulator=simulator, network=network, engine_node=engine_node,
             nodes=nodes, services=services, config=config, rng=rng)
+        if observe:
+            import repro.obs as obs
+
+            _register_backlog_collector(obs.get_registry(), deployment)
         if warmup_seconds > 0:
             simulator.run(until=warmup_seconds)
         return deployment

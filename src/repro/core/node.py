@@ -281,6 +281,12 @@ class CyclosaNode(NetNode):
         """
         return list(self._searches.values())
 
+    def outstanding_count(self) -> int:
+        """Backlog depth: ``len(outstanding_searches())`` without the
+        copy — cheap enough for pull-gauge collectors to call on every
+        registry snapshot."""
+        return len(self._searches)
+
     # -- relay selection -------------------------------------------------
 
     def _select_relays_and_dispatch(self, search: ProtectedSearch) -> None:
@@ -328,6 +334,12 @@ class CyclosaNode(NetNode):
     def _dispatch(self, search: ProtectedSearch, relays: List[str]) -> None:
         if search.done:
             return
+        # Channels are re-checked at dispatch time: while
+        # _ensure_channels waited on other handshakes, a concurrent
+        # search's timeout may have blacklisted an already-ready relay
+        # and dropped its channel. Sealing for it would raise; dropping
+        # it degrades k instead (same policy as a small view).
+        relays = [r for r in relays if self.enclave.has_peer_channel(r)]
         if not relays:
             # Peers existed but no channel could be established
             # (attestation denied, handshakes timed out): distinct from
@@ -428,7 +440,7 @@ class CyclosaNode(NetNode):
                 attributes={"relay": relay, "bytes": len(sealed)})
 
         def on_reply(payload: Any) -> None:
-            self._on_relay_response(search, relay, payload)
+            self._on_relay_response(search, relay, payload, is_real)
 
         def on_timeout() -> None:
             self._on_relay_timeout(search, relay, is_real)
@@ -454,8 +466,10 @@ class CyclosaNode(NetNode):
         OBS.tracer.end_span(span)
 
     def _on_relay_response(self, search: ProtectedSearch, relay: str,
-                           payload: Any) -> None:
+                           payload: Any, is_real: bool = False) -> None:
         if not isinstance(payload, (bytes, bytearray)):
+            if is_real:
+                self._on_filtered_real(search)
             return
         leg_ctx = None
         if OBS.enabled:
@@ -478,6 +492,17 @@ class CyclosaNode(NetNode):
                 OBS.registry.counter(
                     "cyclosa_core_fake_responses_total",
                     "relay responses filtered inside the enclave").inc()
+            if is_real:
+                # The *real* leg's response was unusable — typically a
+                # concurrent search timed out on the same relay and
+                # blacklisted it, dropping the secure channel while
+                # this response was still in flight. The transport has
+                # already cancelled this leg's timeout, so without a
+                # hand-off here the search would hang forever; route it
+                # into the §VI-b retry path instead. The pending token
+                # survives an undecryptable response, so rebuild_real
+                # can re-seal for a fresh relay.
+                self._on_filtered_real(search)
             return
         if search.done:
             return
@@ -512,6 +537,31 @@ class CyclosaNode(NetNode):
                                  "real-query relay timeouts (§VI-b)").inc()
             if search.trace_root is not None and search.engine_span is not None:
                 search.engine_span.set_attribute("timeout", True)
+                OBS.tracer.end_span(search.engine_span)
+                search.engine_span = None
+        if search.real_token is None:
+            self._finish(search, status="relay-failure", hits=[])
+            return
+        self._schedule_retry(search)
+
+    def _on_filtered_real(self, search: ProtectedSearch) -> None:
+        """A real-leg response arrived but could not be used.
+
+        Unlike a timeout the relay is not blacklisted — it answered;
+        the record was lost to a locally dropped channel or a decrypt
+        failure. The leg is nonetheless dead (its transport timeout was
+        cancelled when the response arrived), so the search must move
+        on: retry through a fresh relay, or terminate explicitly once
+        the budget is spent.
+        """
+        if search.done:
+            return
+        if OBS.enabled:
+            OBS.registry.counter(
+                "cyclosa_core_real_responses_filtered_total",
+                "real-leg responses unusable in-enclave (retried)").inc()
+            if search.trace_root is not None and search.engine_span is not None:
+                search.engine_span.set_attribute("filtered", True)
                 OBS.tracer.end_span(search.engine_span)
                 search.engine_span = None
         if search.real_token is None:

@@ -37,7 +37,7 @@ from contextlib import contextmanager as _contextmanager
 from typing import Optional
 
 from repro.obs import (audit, breakdown, clock, criticalpath, distributed,
-                       export, metrics, sinks, trace)
+                       export, metrics, sinks, slo, timeseries, trace)
 from repro.obs.audit import AuditReport, AuditViolation, run_telemetry_audit
 from repro.obs.breakdown import (PIPELINE_STAGES, format_breakdown,
                                  root_span, stage_breakdown)
@@ -49,11 +49,17 @@ from repro.obs.distributed import (AssembledTrace, SpanRouter, TraceContext,
                                    assemble, assemble_all, close_remote_span,
                                    open_remote_span, query_hash_bucket,
                                    trace_sources)
-from repro.obs.export import (chrome_trace, parse_prometheus,
+from repro.obs.export import (chrome_trace, openmetrics_snapshot,
+                              parse_prometheus, parse_sample_name,
                               parse_trace_jsonl, prometheus_snapshot,
-                              trace_to_jsonl)
+                              sample_key, trace_to_jsonl)
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry)
 from repro.obs.sinks import FORBIDDEN_ATTRIBUTE_KEYS, PATH_SCOPED_SPANS
+from repro.obs.slo import (BoundedGaugeSlo, BurnRatePolicy, LatencyQuantileSlo,
+                           RuleReport, SloReport, SloRule, SloSpec,
+                           SuccessRateSlo, evaluate_slo, format_slo_report)
+from repro.obs.timeseries import (TimeSeriesRecorder, Window, WindowHistogram,
+                                  openmetrics_timeseries)
 from repro.obs.trace import NullSink, Span, Tracer, TraceSink
 
 
@@ -187,6 +193,8 @@ __all__ = [
     "export",
     "metrics",
     "sinks",
+    "slo",
+    "timeseries",
     "trace",
     # frequently used types/functions
     "Clock",
@@ -208,8 +216,26 @@ __all__ = [
     "trace_to_jsonl",
     "parse_trace_jsonl",
     "prometheus_snapshot",
+    "openmetrics_snapshot",
     "parse_prometheus",
+    "sample_key",
+    "parse_sample_name",
     "chrome_trace",
+    # time-series & SLOs
+    "TimeSeriesRecorder",
+    "Window",
+    "WindowHistogram",
+    "openmetrics_timeseries",
+    "SloRule",
+    "SloSpec",
+    "SuccessRateSlo",
+    "LatencyQuantileSlo",
+    "BoundedGaugeSlo",
+    "BurnRatePolicy",
+    "RuleReport",
+    "SloReport",
+    "evaluate_slo",
+    "format_slo_report",
     # distributed tracing
     "TraceContext",
     "SpanRouter",

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.trace import Span
@@ -138,6 +138,90 @@ def _escape(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+def _unescape(value: str) -> str:
+    """Inverse of :func:`_escape` (left-to-right escape scanning)."""
+    out: List[str] = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            nxt = value[index + 1]
+            if nxt == "\\":
+                out.append("\\")
+                index += 2
+                continue
+            if nxt == '"':
+                out.append('"')
+                index += 2
+                continue
+            if nxt == "n":
+                out.append("\n")
+                index += 2
+                continue
+        out.append(char)
+        index += 1
+    return "".join(out)
+
+
+def sample_key(name: str, labels=()) -> str:
+    """Canonical ``name{label="value",...}`` key for one sample.
+
+    Accepts a dict or an iterable of ``(key, value)`` pairs; labels are
+    sorted so the key is stable however the caller assembled them. This
+    is the key format :func:`parse_prometheus` returns and the
+    time-series layer uses for per-window series.
+    """
+    if isinstance(labels, dict):
+        pairs = sorted(labels.items())
+    else:
+        pairs = sorted(labels)
+    return f"{name}{_labels_text(tuple(pairs))}"
+
+
+def parse_sample_name(key: str) -> Tuple[str, Dict[str, str]]:
+    """Split a sample key back into ``(name, labels)``.
+
+    Inverse of :func:`sample_key`: label values are unescaped, so keys
+    built from values containing backslashes, quotes or newlines
+    round-trip exactly.
+    """
+    brace = key.find("{")
+    if brace < 0:
+        return key, {}
+    if not key.endswith("}"):
+        raise ValueError(f"malformed sample key: {key!r}")
+    name = key[:brace]
+    body = key[brace + 1:-1]
+    labels: Dict[str, str] = {}
+    index = 0
+    while index < len(body):
+        eq = body.find("=", index)
+        if eq < 0 or eq + 1 >= len(body) or body[eq + 1] != '"':
+            raise ValueError(f"malformed label pair in: {key!r}")
+        label = body[index:eq]
+        cursor = eq + 2
+        raw: List[str] = []
+        while cursor < len(body):
+            char = body[cursor]
+            if char == "\\" and cursor + 1 < len(body):
+                raw.append(body[cursor:cursor + 2])
+                cursor += 2
+                continue
+            if char == '"':
+                break
+            raw.append(char)
+            cursor += 1
+        if cursor >= len(body):
+            raise ValueError(f"unterminated label value in: {key!r}")
+        labels[label] = _unescape("".join(raw))
+        index = cursor + 1
+        if index < len(body):
+            if body[index] != ",":
+                raise ValueError(f"malformed label separator in: {key!r}")
+            index += 1
+    return name, labels
+
+
 def _labels_text(labels, extra: Optional[dict] = None) -> str:
     pairs = [f'{key}="{_escape(str(value))}"' for key, value in labels]
     if extra:
@@ -178,6 +262,47 @@ def prometheus_snapshot(registry: MetricsRegistry) -> str:
             lines.append(f"{metric.name}_count{_labels_text(metric.labels)} "
                          f"{metric.count}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _openmetrics_family(name: str, kind: str) -> str:
+    """OpenMetrics family name: counters drop the ``_total`` suffix."""
+    if kind == "counter" and name.endswith("_total"):
+        return name[:-len("_total")]
+    return name
+
+
+def openmetrics_snapshot(registry: MetricsRegistry) -> str:
+    """The registry in OpenMetrics text format.
+
+    Sibling of :func:`prometheus_snapshot` with the two compliance
+    deltas OpenMetrics parsers actually check: counter *families* drop
+    the ``_total`` suffix in ``# TYPE`` lines (samples keep it), and
+    the exposition ends with the mandatory ``# EOF`` terminator.
+    """
+    lines: List[str] = []
+    emitted_header = set()
+    for metric in registry.collect():
+        family = _openmetrics_family(metric.name, metric.kind)
+        if metric.name not in emitted_header:
+            emitted_header.add(metric.name)
+            if metric.help:
+                lines.append(f"# HELP {family} {metric.help}")
+            lines.append(f"# TYPE {family} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            lines.append(f"{metric.name}{_labels_text(metric.labels)} "
+                         f"{_format_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            for bound, count in metric.bucket_counts():
+                le = "+Inf" if bound == math.inf else _format_value(bound)
+                lines.append(
+                    f"{metric.name}_bucket"
+                    f"{_labels_text(metric.labels, {'le': le})} {count}")
+            lines.append(f"{metric.name}_sum{_labels_text(metric.labels)} "
+                         f"{repr(float(metric.sum))}")
+            lines.append(f"{metric.name}_count{_labels_text(metric.labels)} "
+                         f"{metric.count}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
 
 
 def parse_prometheus(text: str) -> dict:

@@ -42,6 +42,8 @@ THROUGHPUT_KEYS = (
     ("sensitivity", "linkability_indexed_scores_per_sec"),
     ("simulator", "events_per_sec"),
     ("search", "searches_per_sec"),
+    ("monitor", "windows_per_sec"),
+    ("monitor", "disabled_events_per_sec"),
 )
 
 #: Default workload parameters (overridable via CLI flags / kwargs).
@@ -53,6 +55,7 @@ DEFAULT_PARAMS: Dict[str, Any] = {
     "chains": 64,
     "num_nodes": 16,
     "searches": 25,
+    "monitor_windows": 400,
     "seed": 0,
     # Best-of-N for the short micro passes: the cold/warm/indexed
     # windows are milliseconds long, so a single sample is dominated
@@ -254,6 +257,84 @@ def bench_search(num_nodes: int = 16, searches: int = 25, seed: int = 0,
     }
 
 
+# -- 4. the time-series flight recorder ----------------------------------
+
+
+def bench_monitor(monitor_windows: int = 400, repeats: int = 5,
+                  seed: int = 0, **_ignored: Any) -> Dict[str, Any]:
+    """Flush throughput of the :mod:`repro.obs.timeseries` recorder on
+    a synthetic registry workload, plus the disabled-path guard.
+
+    The registry carries a deployment-sized instrument population
+    (labelled counters, gauges, full-bucket histograms) and every
+    window sees fresh activity, so each flush pays the real cost:
+    collect, delta, quantile interpolation, ring append. The second
+    number times the ``OBS.enabled`` fast path that every hook in the
+    hot code runs when observability is off — the whole telemetry
+    layer must stay an attribute test when unused.
+    """
+    from repro.net.simulator import Simulator
+    from repro.obs import OBS, MetricsRegistry, TimeSeriesRecorder
+
+    rng = random.Random(seed)
+    statuses = ("ok", "captcha", "relay-failure", "channel-failure")
+    best = float("inf")
+    windows_done = 0
+    for _ in range(max(1, repeats)):
+        simulator = Simulator()
+        registry = MetricsRegistry()
+        counters = [registry.counter(f"cyclosa_bench_c{i}_total", "bench",
+                                     status=status)
+                    for i in range(6) for status in statuses]
+        gauges = [registry.gauge(f"cyclosa_bench_g{i}", "bench")
+                  for i in range(8)]
+        histograms = [registry.histogram(f"cyclosa_bench_h{i}_seconds",
+                                         "bench") for i in range(4)]
+        recorder = TimeSeriesRecorder(registry, simulator,
+                                      window_seconds=1.0)
+        recorder.start()
+
+        def tick() -> None:
+            for counter in counters:
+                counter.inc(rng.randrange(4))
+            for gauge in gauges:
+                gauge.set(rng.random() * 50)
+            for histogram in histograms:
+                for _ in range(5):
+                    histogram.observe(rng.random() * 2.0)
+
+        for window in range(monitor_windows):
+            simulator.schedule_at(window + 0.5, tick)
+        begin = time.perf_counter()
+        simulator.run(until=float(monitor_windows))
+        best = min(best, time.perf_counter() - begin)
+        windows_done = len(recorder.windows) + recorder.evicted
+        recorder.stop()
+
+    # Disabled-path guard: the per-event cost when obs is off is one
+    # attribute test; meaningful only as a throughput floor.
+    from repro import obs
+
+    obs.disable(reset=True)
+    assert not OBS.enabled
+    guard_events = 2_000_000
+    begin = time.perf_counter()
+    fired = 0
+    for _ in range(guard_events):
+        if OBS.enabled:
+            fired += 1
+    guard_elapsed = time.perf_counter() - begin
+    assert fired == 0
+
+    return {
+        "monitor_windows": monitor_windows,
+        "windows_flushed": windows_done,
+        "windows_per_sec": monitor_windows / best,
+        "disabled_guard_events": guard_events,
+        "disabled_events_per_sec": guard_events / guard_elapsed,
+    }
+
+
 # -- assembly ------------------------------------------------------------
 
 
@@ -277,6 +358,7 @@ def run_all(**overrides: Any) -> Dict[str, Any]:
         "sensitivity": bench_sensitivity(**params),
         "simulator": bench_simulator(**params),
         "search": bench_search(**params),
+        "monitor": bench_monitor(**params),
     }
     results["text_caches"] = cache_stats()
     return results
@@ -298,6 +380,7 @@ def format_report(results: Dict[str, Any]) -> str:
     sens = results["sensitivity"]
     sim = results["simulator"]
     search = results["search"]
+    mon = results.get("monitor")
     lines = [
         "== CYCLOSA pipeline perf ==",
         f"python {results['meta']['python']}  "
@@ -329,6 +412,15 @@ def format_report(results: Dict[str, Any]) -> str:
     total = search.get("simulated_end_to_end_seconds")
     if total is not None:
         lines.append(f"    {'end-to-end':<20} {total * 1000:>10.3f} ms")
+    if mon is not None:
+        lines += [
+            "",
+            f"flight recorder ({mon['monitor_windows']} windows)",
+            f"  windows/sec               : "
+            f"{mon['windows_per_sec']:>12.1f}",
+            f"  disabled-guard events/sec : "
+            f"{mon['disabled_events_per_sec']:>12.0f}",
+        ]
     return "\n".join(lines)
 
 

@@ -114,6 +114,15 @@ class SearchEngineNode(NetNode):
         now = self.network.simulator.now
         if self.rate_limiter is not None:
             verdict = self.rate_limiter.check(identity, now)
+            if OBS.enabled:
+                # Counted here, at the front-end, rather than inside
+                # the limiter: fault injection can wrap the limiter
+                # (rate-limit storms) and those forced captchas must
+                # show up in the per-window verdict series too.
+                OBS.registry.counter(
+                    "cyclosa_engine_ratelimit_verdicts_total",
+                    "admission verdicts issued by the engine front-end",
+                    verdict=verdict.value).inc()
             if verdict is RateLimitVerdict.CAPTCHA:
                 response: Dict[str, Any] = {"status": "captcha", "hits": []}
                 if OBS.enabled:

@@ -84,3 +84,61 @@ class TestStatsUnderFailure:
                                       k_override=2, max_wait=240.0)
         assert client.stats.blacklisted_peers > 0
         assert client.stats.queries_issued == 8
+
+
+class TestFilteredRealResponse:
+    def test_channel_dropped_mid_flight_does_not_hang(self):
+        """A concurrent search's timeout can blacklist a relay and drop
+        its secure channel while another search's *real* response from
+        that relay is still in flight. The response then fails to
+        decrypt in-enclave ("no channel"), but the transport already
+        cancelled the leg's timeout when the response arrived — before
+        the hand-off to the §VI-b retry path this stranded the search
+        forever. It must now terminate (retry elsewhere or fail
+        explicitly), never hang."""
+        config = CyclosaConfig(relay_timeout=1.5, max_retries=3)
+        deployment = CyclosaNetwork.create(num_nodes=6, seed=75,
+                                           config=config,
+                                           warmup_seconds=40)
+        node = deployment.nodes[0]
+        results = []
+        node.search("mid-flight probe", on_result=results.append,
+                    k_override=2)
+        # Dispatch is asynchronous (channel establishment, staggered
+        # sends): run until the real record is on the wire, then
+        # simulate the concurrent blacklist by dropping every peer
+        # channel the client enclave holds.
+        deployment.run(1.0)
+        searches = node.outstanding_searches()
+        assert searches, "search should still be in flight"
+        for relay in list(searches[0].real_relays | searches[0].fake_relays):
+            node.enclave.drop_peer_channel(relay)
+        deployment.run(300.0)
+        assert results, "search hung: no terminal result delivered"
+        assert results[0]["status"] in ("ok", "relay-failure",
+                                        "channel-failure", "no-peers")
+        assert node.outstanding_count() == 0
+
+    def test_dispatch_skips_relays_blacklisted_during_handshake(self):
+        """While _ensure_channels waits on one peer's handshake another
+        search can blacklist an already-ready relay; dispatch must
+        re-check channels instead of sealing for a dead one (which
+        raised KeyError out of the event loop)."""
+        config = CyclosaConfig(relay_timeout=1.5, max_retries=3)
+        deployment = CyclosaNetwork.create(num_nodes=6, seed=76,
+                                           config=config,
+                                           warmup_seconds=40)
+        node = deployment.nodes[0]
+        ready_peers = [p for p in node.pss.view.addresses()
+                       if node.enclave.has_peer_channel(p)]
+        results = []
+        node.search("handshake race probe", on_result=results.append,
+                    k_override=2)
+        # Between selection and dispatch, blacklist every relay that
+        # already had a channel — exactly what a concurrent timeout
+        # does while the remaining handshakes are still settling.
+        for peer in ready_peers:
+            node._blacklist(peer)
+        deployment.run(300.0)
+        assert results, "search hung after mid-handshake blacklist"
+        assert node.outstanding_count() == 0

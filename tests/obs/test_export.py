@@ -8,8 +8,13 @@ import math
 import pytest
 
 from repro.obs.clock import ManualClock
-from repro.obs.export import (chrome_trace, parse_prometheus,
-                              parse_trace_jsonl, prometheus_snapshot,
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.export import (_escape, _unescape, chrome_trace,
+                              openmetrics_snapshot, parse_prometheus,
+                              parse_sample_name, parse_trace_jsonl,
+                              prometheus_snapshot, sample_key,
                               span_to_dict, trace_to_jsonl)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Span, Tracer, TraceSink
@@ -146,3 +151,80 @@ def test_empty_registry_snapshot_is_empty():
     assert parse_prometheus("") == {}
     assert math.isinf(parse_prometheus('x_bucket{le="+Inf"} +Inf'
                                        )['x_bucket{le="+Inf"}'])
+
+
+# -- OpenMetrics sibling -----------------------------------------------
+
+
+def test_openmetrics_snapshot_ends_with_eof():
+    registry = MetricsRegistry()
+    registry.counter("cyclosa_q_total", "queries", mode="real").inc(3)
+    registry.gauge("cyclosa_pages", "pages").set(17)
+    text = openmetrics_snapshot(registry)
+    assert text.endswith("# EOF\n")
+    assert text.count("# EOF") == 1
+    # Same sample lines as the Prometheus exposition, so the existing
+    # parser reads both (it ignores comment lines).
+    assert parse_prometheus(text) == parse_prometheus(
+        prometheus_snapshot(registry))
+
+
+def test_openmetrics_counter_family_drops_total_suffix():
+    registry = MetricsRegistry()
+    registry.counter("cyclosa_q_total", "queries", mode="real").inc(3)
+    text = openmetrics_snapshot(registry)
+    # OpenMetrics: the *family* is named without _total, samples keep it.
+    assert "# TYPE cyclosa_q counter" in text
+    assert "# HELP cyclosa_q queries" in text
+    assert 'cyclosa_q_total{mode="real"} 3' in text
+
+
+def test_openmetrics_empty_registry_is_just_eof():
+    assert openmetrics_snapshot(MetricsRegistry()) == "# EOF\n"
+
+
+def test_openmetrics_histogram_keeps_full_name():
+    registry = MetricsRegistry()
+    registry.histogram("cyclosa_lat_seconds", "lat",
+                       buckets=(0.1,)).observe(0.05)
+    text = openmetrics_snapshot(registry)
+    assert "# TYPE cyclosa_lat_seconds histogram" in text
+    assert 'cyclosa_lat_seconds_bucket{le="0.1"} 1' in text
+
+
+# -- sample-key round-trip ---------------------------------------------
+
+
+def test_sample_key_sorts_labels_canonically():
+    assert sample_key("cyclosa_x", {"b": "2", "a": "1"}) == \
+        'cyclosa_x{a="1",b="2"}'
+    assert sample_key("cyclosa_x", {}) == "cyclosa_x"
+
+
+def test_parse_sample_name_inverts_sample_key():
+    labels = {"status": "ok", "gate": 'we"ird\\name', "nl": "a\nb"}
+    name, parsed = parse_sample_name(sample_key("cyclosa_x", labels))
+    assert name == "cyclosa_x"
+    assert parsed == labels
+    assert parse_sample_name("cyclosa_plain") == ("cyclosa_plain", {})
+
+
+def test_unescape_inverts_escape():
+    tricky = 'plain we"ird \\ back\\slash line\nbreak tail\\'
+    assert _unescape(_escape(tricky)) == tricky
+
+
+@given(st.dictionaries(
+    st.text(alphabet="abcdefgh_", min_size=1, max_size=8),
+    st.text(min_size=0, max_size=32), max_size=4))
+def test_sample_key_round_trip_property(labels):
+    """parse_sample_name is a true inverse of sample_key for any label
+    values the escaper can carry (quotes, backslashes, newlines...)."""
+    name, parsed = parse_sample_name(sample_key("cyclosa_prop", labels))
+    assert name == "cyclosa_prop"
+    assert parsed == labels
+
+
+@given(st.text(min_size=0, max_size=64))
+def test_escape_round_trip_property(value):
+    assert _unescape(_escape(value)) == value

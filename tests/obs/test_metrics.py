@@ -102,3 +102,31 @@ def test_collect_reset_and_names(registry):
 def test_default_buckets_cover_sgx_to_endtoend():
     assert DEFAULT_BUCKETS[0] <= 1e-6
     assert DEFAULT_BUCKETS[-1] >= 60.0
+
+
+def test_reservoir_overflow_keeps_most_recent_observations():
+    hist = Histogram("cyclosa_lat_seconds")
+    total = RESERVOIR_SIZE + 500
+    for index in range(total):
+        hist.observe(float(index))
+    # Oldest 500 evicted; what's retained is exactly the most recent
+    # RESERVOIR_SIZE observations, in arrival order.
+    assert hist.samples == [float(v) for v in range(500, total)]
+    assert hist.sum == pytest.approx(sum(range(total)))
+
+
+def test_reservoir_overflow_quantiles_stay_cumulative():
+    # The bounded reservoir must not bend the bucket math: cumulative
+    # bucket counts keep every observation ever made, and identical
+    # observation streams keep identical reservoirs (determinism —
+    # eviction is FIFO, never sampled).
+    first = Histogram("cyclosa_lat_seconds", buckets=(1.0, 10.0))
+    second = Histogram("cyclosa_lat_seconds", buckets=(1.0, 10.0))
+    for index in range(RESERVOIR_SIZE + 64):
+        value = 0.5 if index % 2 == 0 else 5.0
+        first.observe(value)
+        second.observe(value)
+    assert first.samples == second.samples
+    counts = dict(first.bucket_counts())
+    assert counts[1.0] == (RESERVOIR_SIZE + 64) / 2
+    assert counts[math.inf] == RESERVOIR_SIZE + 64
