@@ -51,6 +51,7 @@ FLOORS = {
     "crash-after-receive": 0.75,
     "attest-deny": 0.75,
     "ratelimit-storm": 0.0,
+    "replica-crash": 0.75,
     "combo": 0.5,
 }
 

@@ -11,6 +11,13 @@ of every emitted span, checking that
 3. the spans other nodes emit for the real query's fan-out leg are
    shape-identical to every fake leg's.
 
+It then runs the engine-tier cache-indistinguishability audit: two
+identically-seeded replica deployments — result caches on vs. off —
+are driven through the same repetitive workload, and their complete
+wiretap captures must match transmission for transmission (kind,
+endpoints, size, timestamp). A cache that changed anything on the wire
+would hand a passive adversary a query-popularity oracle.
+
 Exit code 0 on a clean run, 1 on any sighting — wire it into CI next
 to ``check_regression.py``::
 
@@ -59,6 +66,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not report.ok:
         print("telemetry leak detected — observability output is "
               "carrying protocol secrets", file=sys.stderr)
+        return 1
+
+    from repro.core.config import CyclosaConfig
+
+    def make_deployment(with_cache: bool) -> CyclosaNetwork:
+        return CyclosaNetwork.create(
+            num_nodes=min(args.nodes, 8), seed=args.seed,
+            config=CyclosaConfig(
+                engine_replicas=2,
+                engine_cache_size=256 if with_cache else None))
+
+    # Hit-heavy: every query repeats, so the caches genuinely serve
+    # from memory while the wire must not change.
+    cache_queries = (queries * 2)[: 2 * len(queries)]
+    cache_report = obs.audit_cache_indistinguishability(
+        make_deployment, cache_queries, drain_seconds=args.drain)
+    print()
+    print("cache indistinguishability:",
+          "PASS" if cache_report.ok else "FAIL",
+          f"({cache_report.messages_scanned} transmissions compared)")
+    for violation in cache_report.violations:
+        print(f"  - {violation}")
+    if not cache_report.ok:
+        print("cache hits are visible on the wire — the result cache "
+              "is leaking query popularity", file=sys.stderr)
         return 1
     return 0
 

@@ -71,6 +71,12 @@ def main(argv: Optional[List[str]] = None) -> int:
               file=sys.stderr)
         return 1
 
+    scaling = fresh.get("engine_scaling")
+    if scaling is not None and not scaling["sharded_identical"]:
+        print("FAIL: sharded engine results diverged from the unsharded "
+              "baseline", file=sys.stderr)
+        return 1
+
     rows = perf.compare(baseline, fresh, tolerance=args.tolerance)
     width = max(len(row["metric"]) for row in rows)
     print(f"{'metric':<{width}}  {'baseline':>12}  {'fresh':>12}  "

@@ -117,3 +117,30 @@ def test_bench_end_to_end_searches(benchmark, report):
     for stage in ("sensitivity", "adaptive_k", "fake_generation",
                   "fanout", "engine", "response_filtering"):
         assert stage in stages
+    # The engine row is service time, the path row the relay/network
+    # remainder — they must no longer alias the same round trip.
+    assert stages["engine"] != stages["path"]
+
+
+ENGINE_SPEEDUP_FLOOR = 5.0  # acceptance: replicas+cache+batch vs 1 replica
+
+
+def test_bench_engine_scaling_speedup(benchmark, report):
+    """Sharded replicas + caches + batching >= 5x one bare replica,
+    with byte-identical result pages."""
+    results = single_run(benchmark, perf.bench_engine_scaling, seed=0)
+    report("\n".join([
+        "",
+        "== Engine tier scale-out ==",
+        f"baseline : {results['baseline_searches_per_sec']:>10.1f} "
+        "searches/sec  (1 replica, no cache/batch)",
+        *(f"{row['replicas']} replicas: "
+          f"{row['searches_per_sec']:>10.1f} searches/sec  "
+          f"({row['cache_hit_rate'] * 100:.0f}% cache hits)"
+          for row in results["scaled"]),
+        f"speedup  : {results['speedup']:>10.1f}x  "
+        f"(floor {ENGINE_SPEEDUP_FLOOR:.0f}x)",
+        f"sharded pages identical: {results['sharded_identical']}",
+    ]))
+    assert results["sharded_identical"]
+    assert results["speedup"] >= ENGINE_SPEEDUP_FLOOR

@@ -126,7 +126,7 @@ class TrackMeNotClientNode:
 
     def _schedule_fake(self) -> None:
         delay = self.rng.expovariate(1.0 / self.fake_interval)
-        self.node.network.simulator.schedule(delay, self._send_fake)
+        self.node.network.simulator.post(delay, self._send_fake)
 
     def _send_fake(self) -> None:
         if not self._running:

@@ -204,7 +204,7 @@ class XSearchProxyNode(NetNode):
                     ctx, obfuscated["query"], response),
                 timeout=120.0, kind="search")
 
-        self.network.simulator.schedule(cost, forward)
+        self.network.simulator.post(cost, forward)
 
     def _on_engine_reply(self, ctx: RequestContext, query: str,
                          response: Any) -> None:
@@ -213,7 +213,7 @@ class XSearchProxyNode(NetNode):
         if sealed is None:
             return
         cost = self.host.meter.take()
-        self.network.simulator.schedule(
+        self.network.simulator.post(
             cost, lambda: ctx.respond(sealed, size_bytes=len(sealed)))
 
 

@@ -238,20 +238,47 @@ def _cmd_obs(query: str, num_nodes: int, seed: int, fmt: str,
 
 def _cmd_perf(args) -> int:
     """Run the pipeline perf benches; write the trajectory baseline."""
+    import os
+
     from repro import perf
 
-    results = perf.run_all(
-        history_size=args.history, probes=args.probes,
-        num_events=args.events, num_nodes=args.nodes,
-        searches=args.searches, monitor_windows=args.monitor_windows,
-        seed=args.seed)
+    only = None
+    if args.only:
+        only = [name for entry in args.only
+                for name in entry.split(",") if name]
+    try:
+        results = perf.run_all(
+            only=only,
+            history_size=args.history, probes=args.probes,
+            num_events=args.events, num_nodes=args.nodes,
+            searches=args.searches, monitor_windows=args.monitor_windows,
+            engine_queries=args.engine_queries,
+            engine_docs_per_topic=args.engine_docs_per_topic,
+            seed=args.seed)
+    except ValueError as error:
+        print(f"ERROR: {error}", file=sys.stderr)
+        return 2
     print(perf.format_report(results))
     if not args.no_write:
-        perf.write_baseline(results, args.output)
+        if only is not None and os.path.exists(args.output):
+            # Partial run: refresh only the measured sections, keep the
+            # rest of the committed baseline untouched.
+            merged = perf.load_baseline(args.output)
+            merged.update(results)
+            results_to_write = merged
+        else:
+            results_to_write = results
+        perf.write_baseline(results_to_write, args.output)
         print(f"\nwrote {args.output}")
-    if not results["sensitivity"]["scores_bit_identical"]:
+    sens = results.get("sensitivity")
+    if sens is not None and not sens["scores_bit_identical"]:
         print("ERROR: indexed linkability diverged from the linear scan",
               file=sys.stderr)
+        return 1
+    scaling = results.get("engine_scaling")
+    if scaling is not None and not scaling["sharded_identical"]:
+        print("ERROR: sharded engine results diverged from the "
+              "unsharded baseline", file=sys.stderr)
         return 1
     return 0
 
@@ -447,7 +474,20 @@ def build_parser() -> argparse.ArgumentParser:
     perf_parser.add_argument("--monitor-windows", type=int, default=None,
                              help="flight-recorder flush windows "
                                   "(default 400)")
+    perf_parser.add_argument("--engine-queries", type=int, default=None,
+                             help="queries fired at the engine tier in "
+                                  "the scale-out bench (default 400)")
+    perf_parser.add_argument("--engine-docs-per-topic", type=int,
+                             default=None,
+                             help="corpus size knob for the engine "
+                                  "scale-out bench (default 6000)")
     perf_parser.add_argument("--seed", type=int, default=None)
+    perf_parser.add_argument(
+        "--only", action="append", default=None, metavar="SECTION",
+        help="run only these bench sections (repeatable or "
+             "comma-separated; known: sensitivity, simulator, search, "
+             "engine_scaling, monitor). With --output, the measured "
+             "sections are merged into an existing baseline file")
     perf_parser.add_argument("--output", default="BENCH_pipeline.json",
                              help="baseline path (default ./BENCH_pipeline.json)")
     perf_parser.add_argument("--no-write", action="store_true",

@@ -27,10 +27,12 @@ from repro.gossip.bootstrap_repo import PublicRepository
 from repro.net.latency import LogNormalLatency
 from repro.net.simulator import Simulator
 from repro.net.transport import Network
+from repro.searchengine.cache import ResultCache
 from repro.searchengine.corpus import Corpus, build_corpus
 from repro.searchengine.engine import SearchEngine
 from repro.searchengine.node import SearchEngineNode
 from repro.searchengine.ratelimit import RateLimiter
+from repro.searchengine.sharding import build_shard_engines, replica_addresses
 from repro.sgx.attestation import IntelAttestationService, MeasurementPolicy
 from repro.text.wordnet import SyntheticWordNet
 
@@ -132,6 +134,9 @@ class CyclosaNetwork:
     services: CyclosaServices
     config: CyclosaConfig
     rng: random.Random
+    #: Every engine replica (``engine_node`` is replica 0; a single
+    #: entry on unsharded deployments).
+    engine_nodes: List[SearchEngineNode] = field(default_factory=list)
     _users: Dict[int, CyclosaUser] = field(default_factory=dict)
 
     @classmethod
@@ -182,19 +187,55 @@ class CyclosaNetwork:
                 median=config.peer_link_median,
                 sigma=config.peer_link_sigma))
 
-        engine = SearchEngine(
-            corpus if corpus is not None else build_corpus(seed=seed),
-            results_per_query=config.results_per_query)
-        rate_limiter = None
-        if config.engine_rate_limit is not None:
-            rate_limiter = RateLimiter(max_per_window=config.engine_rate_limit)
-        engine_node = SearchEngineNode(
-            network, engine, rng,
-            processing=LogNormalLatency(
-                median=config.engine_processing_median,
-                sigma=config.engine_processing_sigma),
-            rate_limiter=rate_limiter,
-            log_capacity=config.engine_log_capacity)
+        corpus_obj = corpus if corpus is not None else build_corpus(seed=seed)
+        num_replicas = config.engine_replicas
+        addresses = replica_addresses(num_replicas)
+        if num_replicas == 1:
+            engines = [SearchEngine(
+                corpus_obj, results_per_query=config.results_per_query)]
+        else:
+            engines = build_shard_engines(
+                corpus_obj, num_replicas,
+                results_per_query=config.results_per_query)
+        engine_nodes: List[SearchEngineNode] = []
+        for address, engine in zip(addresses, engines):
+            rate_limiter = None
+            if config.engine_rate_limit is not None:
+                # One limiter per replica: each replica admits the
+                # identities routed to it (Fig 8d reproduces per replica).
+                rate_limiter = RateLimiter(
+                    max_per_window=config.engine_rate_limit)
+            engine_nodes.append(SearchEngineNode(
+                network, engine, rng, address=address,
+                processing=LogNormalLatency(
+                    median=config.engine_processing_median,
+                    sigma=config.engine_processing_sigma),
+                rate_limiter=rate_limiter,
+                log_capacity=config.engine_log_capacity,
+                cluster=addresses if num_replicas > 1 else None,
+                response_cache=(ResultCache(config.engine_cache_size)
+                                if config.engine_cache_size else None),
+                partial_cache=(ResultCache(config.engine_cache_size)
+                               if config.engine_cache_size
+                               and num_replicas > 1 else None),
+                batch_window=config.engine_batch_window,
+                shard_timeout=config.engine_shard_timeout))
+        engine_node = engine_nodes[0]
+        # Datacenter interconnect between replicas, plus the sealed
+        # channels the scatter-gather partials ride on (established
+        # during warm-up).
+        for first in engine_nodes:
+            for second in engine_nodes:
+                if first is not second:
+                    network.set_link_latency(
+                        first.address, second.address,
+                        LogNormalLatency(
+                            median=config.engine_interlink_median,
+                            sigma=0.2))
+        for index, first in enumerate(engine_nodes):
+            for second in engine_nodes[index + 1:]:
+                first.tls.establish(second.address,
+                                    on_ready=lambda channel: None)
 
         if semantic is None:
             wordnet = SyntheticWordNet.build(seed=seed)
@@ -208,6 +249,7 @@ class CyclosaNetwork:
             policy=MeasurementPolicy(),
             repository=PublicRepository(rng),
             engine_address=engine_node.address,
+            engine_addresses=tuple(addresses),
             bootstrap_queries=trending_queries(config.bootstrap_trends,
                                                seed=seed))
         services.policy.allow_class(CyclosaEnclave)
@@ -217,11 +259,13 @@ class CyclosaNetwork:
             node = CyclosaNode(
                 network, f"node{index:03d}", rng, config, services,
                 semantic=semantic, user_id=f"user{index:03d}")
-            # Peers reach the engine over a fast, well-peered path —
-            # unlike the residential peer↔peer links.
-            network.set_link_latency(
-                node.address, engine_node.address,
-                LogNormalLatency(median=config.engine_link_median, sigma=0.3))
+            # Peers reach the engine tier over a fast, well-peered path
+            # — unlike the residential peer↔peer links.
+            for replica in engine_nodes:
+                network.set_link_latency(
+                    node.address, replica.address,
+                    LogNormalLatency(median=config.engine_link_median,
+                                     sigma=0.3))
             if config.peer_heterogeneity_sigma > 0:
                 # Heterogeneous access links: some homes are on fibre,
                 # some on congested DSL — scale this node's link model.
@@ -240,7 +284,8 @@ class CyclosaNetwork:
 
         deployment = cls(
             simulator=simulator, network=network, engine_node=engine_node,
-            nodes=nodes, services=services, config=config, rng=rng)
+            nodes=nodes, services=services, config=config, rng=rng,
+            engine_nodes=engine_nodes)
         if observe:
             import repro.obs as obs
 
@@ -280,5 +325,13 @@ class CyclosaNetwork:
 
         A bounded ring buffer: ``config.engine_log_capacity`` caps how
         many observations are retained (oldest evicted first; eviction
-        counts are on ``engine_node.tap.dropped``)."""
-        return self.engine_node.tap.entries
+        counts are on ``engine_node.tap.dropped``). With replicas, the
+        tier-wide view: every replica's tap merged in timestamp order
+        (the engine operator runs all replicas, so the adversary sees
+        the union)."""
+        if len(self.engine_nodes) <= 1:
+            return self.engine_node.tap.entries
+        merged = [entry for replica in self.engine_nodes
+                  for entry in replica.tap.entries]
+        merged.sort(key=lambda entry: entry.timestamp)
+        return merged

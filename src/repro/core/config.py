@@ -83,12 +83,37 @@ class CyclosaConfig:
     #: Results per query returned by the engine.
     results_per_query: int = 10
     #: Optional per-identity hourly rate limit at the engine
-    #: (None = unlimited; Fig 8d sets 1000/h).
+    #: (None = unlimited; Fig 8d sets 1000/h). With replicas, each
+    #: replica runs its own limiter over the identities routed to it.
     engine_rate_limit: Optional[int] = None
     #: Ring-buffer capacity of the honest-but-curious engine log
     #: (None = unbounded; the default bounds memory on long runs while
     #: retaining far more history than any experiment consumes).
     engine_log_capacity: Optional[int] = 100_000
+
+    # -- engine tier scale-out ------------------------------------------
+    #: Engine replica nodes; the TF-IDF posting lists are sharded
+    #: across them (doc_id % replicas) and every replica coordinates
+    #: scatter-gather merges for the clients routed to it. 1 (the
+    #: default) reproduces the single-engine deployments byte for byte.
+    engine_replicas: int = 1
+    #: Capacity of the per-replica result caches (response pages and
+    #: shard partials). None disables caching. Cache hits are
+    #: indistinguishable from misses on the wire — identical message
+    #: kinds, sizes, and seeded response timing; only ranking CPU is
+    #: saved (audited by repro.obs.audit.audit_cache_indistinguishability).
+    engine_cache_size: Optional[int] = None
+    #: Simulated seconds a replica holds admitted queries before
+    #: serving them as one batch (duplicates ranked once, one
+    #: scatter-gather round per sibling per flush). 0 disables
+    #: batching and serves every query immediately (the default).
+    engine_batch_window: float = 0.0
+    #: Simulated seconds a coordinator waits for a sibling replica's
+    #: partial top-k before degrading to the surviving shards.
+    engine_shard_timeout: float = 2.0
+    #: Median one-way latency between engine replicas (datacenter
+    #: interconnect, far below the peer links).
+    engine_interlink_median: float = 0.002
 
     def __post_init__(self) -> None:
         if self.kmax < 0:
@@ -100,6 +125,14 @@ class CyclosaConfig:
         if self.engine_log_capacity is not None \
                 and self.engine_log_capacity < 1:
             raise ValueError("engine_log_capacity must be >= 1 (or None)")
+        if self.engine_replicas < 1:
+            raise ValueError("engine_replicas must be >= 1")
+        if self.engine_cache_size is not None and self.engine_cache_size < 1:
+            raise ValueError("engine_cache_size must be >= 1 (or None)")
+        if self.engine_batch_window < 0:
+            raise ValueError("engine_batch_window must be >= 0")
+        if self.engine_shard_timeout <= 0:
+            raise ValueError("engine_shard_timeout must be > 0")
         unknown = set(self.sensitive_topics) - set(SENSITIVE_TOPICS)
         # Users may define custom topics by importing dictionaries
         # (§V-A1); unknown names are allowed but must be non-empty.

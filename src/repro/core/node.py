@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Set
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.adaptive import choose_k
 from repro.core.config import CyclosaConfig
@@ -37,6 +37,7 @@ from repro.net.transport import Network, NetNode, RequestContext
 from repro.obs import (OBS, TraceContext, close_remote_span,
                        open_remote_span, remote_context)
 from repro.net.tls import SecureChannelManager, SgxAuthenticator, SignatureAuthenticator
+from repro.searchengine.sharding import route_to_replica
 from repro.sgx.attestation import IntelAttestationService, MeasurementPolicy
 from repro.sgx.enclave import EnclaveHost
 
@@ -52,6 +53,11 @@ class CyclosaServices:
     repository: PublicRepository
     engine_address: str
     bootstrap_queries: List[str] = field(default_factory=list)
+    #: Every engine replica's address (scale-out tier); empty means a
+    #: single engine at ``engine_address``. Each node is pinned to one
+    #: replica by a stable hash of its own address, so the per-identity
+    #: rate limiter at that replica keeps seeing the same identities.
+    engine_addresses: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -117,6 +123,12 @@ class CyclosaNode(NetNode):
         self.config = config
         self.services = services
         self.user_id = user_id or address
+        #: The engine replica this node (as client *and* relay) talks
+        #: to — a stable hash of the node address over the tier's
+        #: addresses, so the assignment survives restarts and keeps
+        #: per-identity rate limiting per replica meaningful.
+        self.engine_address = route_to_replica(
+            address, services.engine_addresses or (services.engine_address,))
         self.stats = NodeStats()
 
         # -- trusted side ------------------------------------------------
@@ -182,7 +194,7 @@ class CyclosaNode(NetNode):
             self.enclave.seed_table(
                 list(self.services.bootstrap_queries[: self.config.bootstrap_trends]))
         self.engine_tls.establish(
-            self.services.engine_address,
+            self.engine_address,
             on_ready=lambda channel: None)
 
     def preload_history(self, queries: List[str]) -> None:
@@ -403,7 +415,7 @@ class CyclosaNode(NetNode):
                 search.real_relays.add(relay)
             else:
                 search.fake_relays.add(relay)
-            self.network.simulator.schedule(
+            self.network.simulator.post(
                 delay,
                 lambda r=relay, s=sealed, real=is_real: self._send_record(
                     search, r, s, real))
@@ -598,7 +610,7 @@ class CyclosaNode(NetNode):
         if OBS.enabled:
             OBS.registry.counter("cyclosa_core_retry_backoff_total",
                                  "backed-off real-query retries").inc()
-        self.network.simulator.schedule(
+        self.network.simulator.post(
             backoff, lambda: self._retry_real(search))
 
     def _retry_real(self, search: ProtectedSearch) -> None:
@@ -661,7 +673,7 @@ class CyclosaNode(NetNode):
             search.real_token = token
             search.real_relays.add(ready[0])
             cost = self.host.meter.take()
-            self.network.simulator.schedule(
+            self.network.simulator.post(
                 cost + self.config.client_request_overhead,
                 lambda: self._send_record(search, ready[0], sealed, True))
 
@@ -765,14 +777,14 @@ class CyclosaNode(NetNode):
 
         def forward_to_engine() -> None:
             self.request(
-                self.services.engine_address, sealed_for_engine,
+                self.engine_address, sealed_for_engine,
                 on_reply=lambda response: self._relay_engine_reply(
                     ctx, handle, response, trace=trace),
                 timeout=60.0,
                 size_bytes=len(sealed_for_engine),
                 kind="searchtls")
 
-        self.network.simulator.schedule(cost, forward_to_engine)
+        self.network.simulator.post(cost, forward_to_engine)
 
     def _relay_engine_reply(self, ctx: RequestContext, handle: int,
                             response: Any, trace=None) -> None:
@@ -801,5 +813,5 @@ class CyclosaNode(NetNode):
             # unwrap to the moment the re-sealed answer leaves.
             close_remote_span(OBS.router, self.address, fwd_span,
                               end_time=respond_span.start + cost)
-        self.network.simulator.schedule(
+        self.network.simulator.post(
             cost, lambda: ctx.respond(sealed, size_bytes=len(sealed)))

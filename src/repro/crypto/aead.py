@@ -19,6 +19,8 @@ that tampering or key mismatch is *detected* rather than trusted.
 
 from __future__ import annotations
 
+import hashlib
+import hmac as _hmac
 import os
 from dataclasses import dataclass, field
 
@@ -68,13 +70,31 @@ class AeadKey:
 
 
 def _keystream(enc_key: bytes, nonce: bytes, length: int) -> bytes:
+    # Equivalent to concatenating
+    # ``hmac_sha256(enc_key, nonce, counter)`` blocks, but the HMAC
+    # state over key and nonce is absorbed once and cloned per block —
+    # every block then only hashes its 8 counter bytes. Sealing large
+    # payloads (replica scatter-gather partials) is keystream-bound, so
+    # this path is deliberately allocation-light.
+    base = _hmac.new(enc_key, nonce, hashlib.sha256)
     blocks = []
+    produced = 0
     counter = 0
-    while sum(len(b) for b in blocks) < length:
-        blocks.append(
-            hmac_sha256(enc_key, nonce, counter.to_bytes(8, "big")))
+    while produced < length:
+        block_mac = base.copy()
+        block_mac.update(counter.to_bytes(8, "big"))
+        block = block_mac.digest()
+        blocks.append(block)
+        produced += len(block)
         counter += 1
     return b"".join(blocks)[:length]
+
+
+def _xor_bytes(data: bytes, stream: bytes) -> bytes:
+    # Single big-int XOR instead of a per-byte generator: both paths
+    # produce the same bytes, this one stays in C.
+    return (int.from_bytes(data, "big")
+            ^ int.from_bytes(stream, "big")).to_bytes(len(data), "big")
 
 
 def seal(key: AeadKey, plaintext: bytes, associated_data: bytes = b"",
@@ -90,7 +110,7 @@ def seal(key: AeadKey, plaintext: bytes, associated_data: bytes = b"",
     else:
         nonce = bytes(rng.getrandbits(8) for _ in range(NONCE_SIZE))
     stream = _keystream(key._enc_key, nonce, len(plaintext))
-    ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+    ciphertext = _xor_bytes(plaintext, stream)
     tag = hmac_sha256(key._mac_key, nonce, associated_data, ciphertext)
     return nonce + ciphertext + tag
 
@@ -111,7 +131,7 @@ def open_(key: AeadKey, sealed: bytes, associated_data: bytes = b"") -> bytes:
     if not constant_time_equal(tag, expected):
         raise AeadError("authentication failed")
     stream = _keystream(key._enc_key, nonce, len(ciphertext))
-    return bytes(c ^ s for c, s in zip(ciphertext, stream))
+    return _xor_bytes(ciphertext, stream)
 
 
 def sealed_overhead() -> int:

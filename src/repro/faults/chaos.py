@@ -44,12 +44,15 @@ class ChaosCell:
 
     ``build(relays, engine)`` receives the relay addresses (every node
     except the measuring client) and the engine address, and returns
-    the cell's :class:`FaultPlan`.
+    the cell's :class:`FaultPlan`. ``config_overrides`` are applied on
+    top of :func:`run_cell`'s deployment config — the engine scale-out
+    cells use this to stand up replicas before crashing one.
     """
 
     name: str
     description: str
     build: Callable[[List[str], str], FaultPlan]
+    config_overrides: Optional[Dict[str, Any]] = None
 
 
 def default_matrix(plan_seed: int = 0) -> List[ChaosCell]:
@@ -98,6 +101,19 @@ def default_matrix(plan_seed: int = 0) -> List[ChaosCell]:
         cell("ratelimit-storm", "engine answers captcha until t=50s",
              lambda relays, engine: (
                  RateLimitStorm(start=0.0, end=50.0),)),
+        ChaosCell(
+            name="replica-crash",
+            description="3 engine replicas with caching; replica "
+                        "engine1 crashes on its first search — "
+                        "searches routed elsewhere finish normally and "
+                        "coordinators degrade to surviving shards",
+            build=lambda relays, engine: FaultPlan(
+                seed=plan_seed,
+                faults=(CrashAfterReceive(
+                    node="engine1",
+                    trigger=MessageMatch(kind="search*")),)),
+            config_overrides={"engine_replicas": 3,
+                              "engine_cache_size": 256}),
         cell("combo", "drop + slow relays + crash, together",
              lambda relays, engine: (
                  Drop(match=FORWARD_REQUESTS, probability=0.15),
@@ -137,6 +153,9 @@ def run_cell(cell: ChaosCell, num_nodes: int = 10, queries: int = 6,
              max_wait: float = 240.0) -> Dict[str, Any]:
     """Run one cell on a fresh deployment; return its report row."""
     config = config or CyclosaConfig(relay_timeout=1.5, max_retries=3)
+    if cell.config_overrides:
+        from dataclasses import replace
+        config = replace(config, **cell.config_overrides)
     deployment = CyclosaNetwork.create(
         num_nodes=num_nodes, seed=seed, config=config, warmup_seconds=40.0)
     relays = [node.address for node in deployment.nodes[1:]]

@@ -136,7 +136,7 @@ class FaultInjector:
                 self.note("duplicate", src, dst, kind)
                 # The copy is delivered verbatim, bypassing further
                 # link faults: one injected duplicate, not a cascade.
-                self.network.simulator.schedule(
+                self.network.simulator.post(
                     fault.extra_delay,
                     lambda m=message: self._orig_deliver(m))
                 break
@@ -166,7 +166,7 @@ class FaultInjector:
                         extra += fault.jitter * self.rng.random()
                     self.note("delay", src, dst, kind)
                     self._delayed_ids.add(message.msg_id)
-                    self.network.simulator.schedule(
+                    self.network.simulator.post(
                         extra, lambda m=message: self._deliver(m))
                     return
         for fault in self._corrupts:
@@ -299,11 +299,17 @@ def install(plan: FaultPlan, deployment) -> InstalledPlan:
     storms = [f for f in plan.service_faults()
               if isinstance(f, RateLimitStorm)]
     if storms:
-        engine_node = deployment.engine_node
-        orig_limiter = engine_node.rate_limiter
-        engine_node.rate_limiter = _StormRateLimiter(
-            orig_limiter, storms, injector, engine_node.address)
-        restorers.append(
-            lambda: setattr(engine_node, "rate_limiter", orig_limiter))
+        # A storm hits the whole engine tier: wrap every replica's
+        # limiter (older single-engine deployments expose just
+        # ``engine_node``).
+        engine_nodes = (getattr(deployment, "engine_nodes", None)
+                        or [deployment.engine_node])
+        for engine_node in engine_nodes:
+            orig_limiter = engine_node.rate_limiter
+            engine_node.rate_limiter = _StormRateLimiter(
+                orig_limiter, storms, injector, engine_node.address)
+            restorers.append(
+                lambda node=engine_node, limiter=orig_limiter:
+                setattr(node, "rate_limiter", limiter))
 
     return InstalledPlan(plan, injector, restorers)

@@ -87,7 +87,7 @@ class PeerSamplingService:
     def _schedule_next(self) -> None:
         # Jitter desynchronises rounds across nodes.
         jitter = self._rng.uniform(0.0, 0.1 * self.interval)
-        self._node.network.simulator.schedule(
+        self._node.network.simulator.post(
             self.interval + jitter, self._gossip_round)
 
     # -- the shuffle -------------------------------------------------------

@@ -193,7 +193,7 @@ class Network:
             OBS.registry.counter(
                 "cyclosa_net_flight_seconds_total",
                 "cumulative one-way flight time of delivered sends").inc(delay)
-        self.simulator.schedule(delay, lambda: self._deliver(message))
+        self.simulator.post(delay, lambda: self._deliver(message))
         return message
 
     def _deliver(self, message: Message) -> None:

@@ -38,9 +38,12 @@ from typing import Optional
 
 from repro.obs import (audit, breakdown, clock, criticalpath, distributed,
                        export, metrics, sinks, slo, timeseries, trace)
-from repro.obs.audit import AuditReport, AuditViolation, run_telemetry_audit
+from repro.obs.audit import (AuditReport, AuditViolation,
+                             audit_cache_indistinguishability,
+                             run_telemetry_audit)
 from repro.obs.breakdown import (PIPELINE_STAGES, format_breakdown,
-                                 root_span, stage_breakdown)
+                                 root_span, split_engine_service,
+                                 stage_breakdown)
 from repro.obs.clock import Clock, ManualClock, SimulatedClock, WallClock
 from repro.obs.criticalpath import (CriticalPathReport, critical_path,
                                     find_stragglers, format_report,
@@ -211,6 +214,7 @@ __all__ = [
     "MetricsRegistry",
     "PIPELINE_STAGES",
     "stage_breakdown",
+    "split_engine_service",
     "format_breakdown",
     "root_span",
     "trace_to_jsonl",
@@ -256,6 +260,7 @@ __all__ = [
     "AuditReport",
     "AuditViolation",
     "run_telemetry_audit",
+    "audit_cache_indistinguishability",
     "FORBIDDEN_ATTRIBUTE_KEYS",
     "PATH_SCOPED_SPANS",
 ]

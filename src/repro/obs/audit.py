@@ -23,8 +23,17 @@ hand the adversary anything the protocol hides:
    telemetry stream learns which relay did work, never which leg
    carried the real query.
 
-:func:`run_telemetry_audit` drives all three against a live
-deployment; ``benchmarks/check_obs_leak.py`` wires it into CI.
+4. **Cache indistinguishability**
+   (:func:`audit_cache_indistinguishability`) — the engine tier's
+   result cache must not leak *popularity*: a wiretap comparing two
+   identically-seeded deployments — one caching, one not — over the
+   same hit-heavy workload must record the exact same transmission
+   sequence (kind, endpoints, size, timestamp). The cache only saves
+   ranking CPU; anything it changed on the wire would tell the
+   adversary which queries were asked before.
+
+:func:`run_telemetry_audit` drives the first three against a live
+deployment; ``benchmarks/check_obs_leak.py`` wires all four into CI.
 """
 
 from __future__ import annotations
@@ -204,6 +213,72 @@ def audit_path_indistinguishability(trace: AssembledTrace
                 f"differs from leg {reference_path} "
                 f"({shape} != {reference})"))
     return violations
+
+
+# -- 4. cache indistinguishability ---------------------------------------
+
+
+def wire_fingerprint(records: Iterable[Any]
+                     ) -> List[Tuple[str, str, str, int, float]]:
+    """The adversary-comparable identity of a captured transmission
+    sequence: ordered ``(kind, src, dst, size_bytes, time)`` tuples.
+    Timestamps are rounded to the nanosecond, far below anything the
+    simulator's latency models resolve."""
+    return [(record.kind, record.src, record.dst, record.size_bytes,
+             round(record.time, 9)) for record in records]
+
+
+def audit_cache_indistinguishability(make_deployment,
+                                     queries: Sequence[str],
+                                     drain_seconds: float = 60.0,
+                                     mismatch_limit: int = 5
+                                     ) -> AuditReport:
+    """Cache hits must be invisible to a passive wiretap.
+
+    *make_deployment* is a factory ``(with_cache: bool) -> deployment``
+    building two deployments that differ **only** in whether the engine
+    tier caches (same seed, same topology, same config otherwise).
+    Both are driven through the same *queries* (make them repetitive —
+    a cache-defeating workload audits nothing) and their full wiretap
+    captures are compared as exact ordered sequences: every message's
+    kind, endpoints, wire size and timestamp must match. Equality here
+    is the strongest possible indistinguishability — the two runs are
+    the same random process, so the cache provably drew nothing from
+    the RNG and injected, dropped, resized or reordered nothing.
+    """
+    from repro.net.trace import MessageTrace  # lazy: avoids cycles
+
+    def observe(deployment) -> List[Tuple[str, str, str, int, float]]:
+        with MessageTrace(deployment.network) as tap:
+            for index, query in enumerate(queries):
+                deployment.node(index % len(deployment.nodes)).search(query)
+            deployment.run(drain_seconds)
+        return wire_fingerprint(tap)
+
+    cached = observe(make_deployment(True))
+    uncached = observe(make_deployment(False))
+
+    report = AuditReport()
+    report.messages_scanned = len(cached) + len(uncached)
+    if len(cached) != len(uncached):
+        report.violations.append(AuditViolation(
+            "cache-wire",
+            f"caching changed the transmission count: "
+            f"{len(cached)} cached vs {len(uncached)} uncached"))
+    mismatches = 0
+    for index, (hit, miss) in enumerate(zip(cached, uncached)):
+        if hit != miss:
+            mismatches += 1
+            if mismatches <= mismatch_limit:
+                report.violations.append(AuditViolation(
+                    "cache-wire",
+                    f"transmission {index} differs under caching: "
+                    f"{hit} != {miss}"))
+    if mismatches > mismatch_limit:
+        report.violations.append(AuditViolation(
+            "cache-wire",
+            f"... and {mismatches - mismatch_limit} further mismatches"))
+    return report
 
 
 # -- the full dynamic audit ----------------------------------------------

@@ -78,6 +78,57 @@ def stage_breakdown(spans: Iterable[Span],
     return sorted(rows.values(), key=order)
 
 
+def split_engine_service(rows: List[StageTiming], spans: Iterable[Span],
+                         trace_id: Optional[str] = None
+                         ) -> List[StageTiming]:
+    """Split the real leg's round trip into engine service vs relay path.
+
+    The client-side ``engine`` stage span measures the real record's
+    *full* round trip — client → relay → engine → relay → client — and
+    the real leg's ``path`` span covers the same interval, so the two
+    rows used to report the same number and neither isolated the
+    engine. The engine's own ``engine.serve`` remote span (shipped back
+    through the span router) carries the authoritative service time;
+    given it, this helper rewrites the rows in place:
+
+    - ``engine``   := the serve span's duration (service time);
+    - ``path``     := round trip − service (relay hops + network).
+
+    *spans* must include the remote spans (``sink.spans`` +
+    ``router.all_spans()``, or an assembled trace's spans). Rows are
+    returned unchanged when either row or the serve span is missing —
+    e.g. an untraced run, or a timeout where no service happened.
+    """
+    by_name = {row.stage: row for row in rows}
+    engine_row, path_row = by_name.get("engine"), by_name.get("path")
+    if engine_row is None or path_row is None:
+        return rows
+    # The real leg's index: the finished local "path" span through the
+    # same relay the "engine" span recorded.
+    relay = engine_row.attributes.get("relay")
+    leg = None
+    for span in spans:
+        if (span.name == "path" and span.finished
+                and (trace_id is None or span.trace_id == trace_id)
+                and span.attributes.get("relay") == relay):
+            leg = span.attributes.get("path")
+            break
+    if leg is None:
+        return rows
+    service = None
+    for span in spans:
+        if (span.name == "engine.serve" and span.finished
+                and (trace_id is None or span.trace_id == trace_id)
+                and span.attributes.get("path") == leg):
+            service = span.duration
+            break
+    if service is None or service > engine_row.duration:
+        return rows
+    path_row.duration = engine_row.duration - service
+    engine_row.duration = service
+    return rows
+
+
 def root_span(spans: Iterable[Span],
               trace_id: Optional[str] = None) -> Optional[Span]:
     """The finished ``search`` root of *trace_id*, if present."""

@@ -42,6 +42,8 @@ THROUGHPUT_KEYS = (
     ("sensitivity", "linkability_indexed_scores_per_sec"),
     ("simulator", "events_per_sec"),
     ("search", "searches_per_sec"),
+    ("engine_scaling", "baseline_searches_per_sec"),
+    ("engine_scaling", "best_searches_per_sec"),
     ("monitor", "windows_per_sec"),
     ("monitor", "disabled_events_per_sec"),
 )
@@ -55,6 +57,11 @@ DEFAULT_PARAMS: Dict[str, Any] = {
     "chains": 64,
     "num_nodes": 16,
     "searches": 25,
+    "engine_queries": 400,
+    "engine_unique": 24,
+    "engine_docs_per_topic": 6000,
+    # Stored as a list so the JSON baseline round-trips bit-identically.
+    "replica_counts": [2, 4],
     "monitor_windows": 400,
     "seed": 0,
     # Best-of-N for the short micro passes: the cold/warm/indexed
@@ -160,7 +167,14 @@ def bench_simulator(num_events: int = 200000, chains: int = 64,
                     seed: int = 0, repeats: int = 3,
                     **_ignored: Any) -> Dict[str, Any]:
     """Events/sec on self-rescheduling chains with ~10 % cancellations.
-    Best of *repeats* full runs."""
+    Best of *repeats* full runs.
+
+    Mirrors the production scheduling mix: fire-and-forget events (the
+    overwhelming majority — every message delivery) go through the
+    no-handle ``post`` fast path, while the cancellation slice uses
+    ``schedule`` and holds the :class:`EventHandle`, like the request
+    timeouts in :mod:`repro.net.transport` do.
+    """
     from repro.net.simulator import Simulator
 
     def one_run() -> Dict[str, Any]:
@@ -173,7 +187,7 @@ def bench_simulator(num_events: int = 200000, chains: int = 64,
                 return
             state["remaining"] -= 1
             delay = 1e-4 + rng.random() * 1e-3
-            simulator.schedule(delay, tick)
+            simulator.post(delay, tick)
             if state["remaining"] % 10 == 0:
                 # Exercise the cancellation path: dead entries must be
                 # skipped for free.
@@ -181,7 +195,7 @@ def bench_simulator(num_events: int = 200000, chains: int = 64,
                 state["cancelled"] += 1
 
         for _ in range(chains):
-            simulator.schedule(rng.random() * 1e-3, tick)
+            simulator.post(rng.random() * 1e-3, tick)
 
         begin = time.perf_counter()
         simulator.run()
@@ -210,7 +224,7 @@ def bench_search(num_nodes: int = 16, searches: int = 25, seed: int = 0,
     *repeats* passes, each on a fresh (identically seeded) overlay."""
     from repro import obs
     from repro.core.client import CyclosaNetwork
-    from repro.obs import root_span, stage_breakdown
+    from repro.obs import root_span, split_engine_service, stage_breakdown
 
     queries = workload_queries(searches, seed=seed)
 
@@ -241,6 +255,12 @@ def bench_search(num_nodes: int = 16, searches: int = 25, seed: int = 0,
     result = traced.node(0).search(queries[0])
     spans = obs.get_tracer().sink.spans
     rows = stage_breakdown(spans, trace_id=result.trace_id)
+    # The local "engine" stage span is the real leg's full round trip;
+    # fold in the engine's remote engine.serve span so the table
+    # separates engine service time from relay-path time.
+    rows = split_engine_service(
+        rows, list(spans) + obs.OBS.router.all_spans(),
+        trace_id=result.trace_id)
     root = root_span(spans, trace_id=result.trace_id)
     obs.disable(reset=True)
 
@@ -257,7 +277,148 @@ def bench_search(num_nodes: int = 16, searches: int = 25, seed: int = 0,
     }
 
 
-# -- 4. the time-series flight recorder ----------------------------------
+# -- 4. the engine tier under scale-out ----------------------------------
+
+
+def bench_engine_scaling(engine_queries: int = 400, engine_unique: int = 24,
+                         engine_docs_per_topic: int = 6000,
+                         replica_counts=(2, 4), seed: int = 0,
+                         repeats: int = 3,
+                         **_ignored: Any) -> Dict[str, Any]:
+    """Wall-clock searches/sec of the engine tier under fan-in.
+
+    Drives a skewed (cache-friendly, AOL-like) query stream from 16
+    senders straight at the engine nodes over the transport — no relay
+    overlay, so the number isolates the tier itself: TF-IDF ranking
+    over a corpus large enough that ranking dominates. The *baseline*
+    is one replica with no cache and no batching; each *scaled*
+    configuration runs sharded replicas with the response/partial
+    caches and a batch window on. Each configuration is sampled
+    best-of-``min(repeats, 3)`` (the indexes are built once and
+    shared; only nodes, caches and the transport are fresh per pass).
+    The report also pins ``sharded_identical``: every scaled
+    configuration's result pages byte-equal the baseline's.
+    """
+    from repro.net.latency import LogNormalLatency
+    from repro.net.simulator import Simulator
+    from repro.net.transport import Network, NetNode
+    from repro.searchengine.cache import ResultCache
+    from repro.searchengine.corpus import build_corpus
+    from repro.searchengine.engine import SearchEngine
+    from repro.searchengine.node import SearchEngineNode
+    from repro.searchengine.sharding import (build_shard_engines,
+                                             replica_addresses,
+                                             route_to_replica)
+
+    corpus = build_corpus(docs_per_topic=engine_docs_per_topic, seed=seed)
+    unique = workload_queries(engine_unique, seed=seed)
+    draw_rng = random.Random(seed + 1)
+    # Zipf-ish popularity: repeated queries are the norm, like a real
+    # query log — the regime result caching exists for.
+    weights = [1.0 / (rank + 1) for rank in range(engine_unique)]
+    queries = draw_rng.choices(unique, weights=weights, k=engine_queries)
+    engines_by_count = {1: [SearchEngine(corpus)]}
+    for replicas in replica_counts:
+        engines_by_count[replicas] = build_shard_engines(corpus, replicas)
+
+    def run_tier(replicas: int, cached: bool, batch_window: float):
+        simulator = Simulator()
+        rng = random.Random(seed)
+        network = Network(simulator, rng,
+                          default_latency=LogNormalLatency(
+                              median=0.005, sigma=0.1))
+        addresses = replica_addresses(replicas)
+        engines = engines_by_count[replicas]
+        engine_nodes = [
+            SearchEngineNode(
+                network, engine, rng, address=address,
+                processing=LogNormalLatency(median=0.05, sigma=0.2),
+                cluster=addresses if replicas > 1 else None,
+                response_cache=ResultCache(4096) if cached else None,
+                partial_cache=(ResultCache(4096)
+                               if cached and replicas > 1 else None),
+                batch_window=batch_window)
+            for address, engine in zip(addresses, engines)
+        ]
+        for first in engine_nodes:
+            for second in engine_nodes:
+                if first is not second:
+                    network.set_link_latency(
+                        first.address, second.address,
+                        LogNormalLatency(median=0.002, sigma=0.1))
+        for index, first in enumerate(engine_nodes):
+            for second in engine_nodes[index + 1:]:
+                first.tls.establish(second.address,
+                                    on_ready=lambda channel: None)
+        simulator.run(until=5.0)  # replica handshakes settle
+
+        senders = [NetNode(network, f"sender{i:02d}") for i in range(16)]
+        pages: Dict[int, Any] = {}
+
+        def fire(index: int, query: str) -> None:
+            sender = senders[index % len(senders)]
+            target = route_to_replica(sender.address, addresses)
+            sender.request(  # lint: allow(taint-wire) -- bench harness uses the engine's plaintext `search` flavour (as the Direct baseline does) to isolate tier throughput
+                target, {"query": query, "meta": {}},
+                lambda payload, i=index: pages.__setitem__(
+                    i, payload["hits"]),
+                timeout=120.0, kind="search")
+
+        for index, query in enumerate(queries):
+            simulator.post(index * 0.01, lambda i=index, q=query: fire(i, q))
+        begin = time.perf_counter()
+        simulator.run()
+        elapsed = time.perf_counter() - begin
+        assert len(pages) == len(queries), "engine tier lost queries"
+        hit_rate = None
+        if cached:
+            hits = misses = 0
+            for node in engine_nodes:
+                stats = node.response_cache.stats()
+                hits += stats["hits"]
+                misses += stats["misses"]
+            hit_rate = hits / (hits + misses) if hits + misses else 0.0
+        return {
+            "searches_per_sec": len(queries) / elapsed,
+            "cache_hit_rate": hit_rate,
+            "pages": [pages[i] for i in range(len(queries))],
+        }
+
+    def best_of(replicas: int, cached: bool, batch_window: float):
+        best_row = run_tier(replicas, cached, batch_window)
+        for _ in range(min(max(1, repeats), 3) - 1):
+            candidate = run_tier(replicas, cached, batch_window)
+            if candidate["searches_per_sec"] > best_row["searches_per_sec"]:
+                best_row = candidate
+        return best_row
+
+    baseline = best_of(1, cached=False, batch_window=0.0)
+    scaled_rows = []
+    identical = True
+    for replicas in replica_counts:
+        row = best_of(replicas, cached=True, batch_window=0.2)
+        identical = identical and row["pages"] == baseline["pages"]
+        scaled_rows.append({
+            "replicas": replicas,
+            "searches_per_sec": row["searches_per_sec"],
+            "cache_hit_rate": row["cache_hit_rate"],
+        })
+    best = max(scaled_rows, key=lambda row: row["searches_per_sec"])
+    return {
+        "engine_queries": engine_queries,
+        "unique_queries": engine_unique,
+        "corpus_docs": len(corpus.documents),
+        "baseline_searches_per_sec": baseline["searches_per_sec"],
+        "scaled": scaled_rows,
+        "best_replicas": best["replicas"],
+        "best_searches_per_sec": best["searches_per_sec"],
+        "speedup": (best["searches_per_sec"]
+                    / baseline["searches_per_sec"]),
+        "sharded_identical": identical,
+    }
+
+
+# -- 5. the time-series flight recorder ----------------------------------
 
 
 def bench_monitor(monitor_windows: int = 400, repeats: int = 5,
@@ -338,16 +499,39 @@ def bench_monitor(monitor_windows: int = 400, repeats: int = 5,
 # -- assembly ------------------------------------------------------------
 
 
-def run_all(**overrides: Any) -> Dict[str, Any]:
-    """Run every bench; *overrides* patch :data:`DEFAULT_PARAMS`."""
+#: Section name → bench function; ``repro perf --only <name>`` runs a
+#: subset (new sections register here and nowhere else).
+BENCH_SECTIONS = {
+    "sensitivity": bench_sensitivity,
+    "simulator": bench_simulator,
+    "search": bench_search,
+    "engine_scaling": bench_engine_scaling,
+    "monitor": bench_monitor,
+}
+
+
+def run_all(only: Optional[List[str]] = None,
+            **overrides: Any) -> Dict[str, Any]:
+    """Run every bench (or just the *only* sections); *overrides* patch
+    :data:`DEFAULT_PARAMS`. Unknown section names raise ``ValueError``.
+    """
     params = dict(DEFAULT_PARAMS)
     unknown = set(overrides) - set(params)
     if unknown:
         raise TypeError(f"unknown perf parameters: {sorted(unknown)}")
     params.update({k: v for k, v in overrides.items() if v is not None})
+    sections = list(BENCH_SECTIONS)
+    if only is not None:
+        bad = [name for name in only if name not in BENCH_SECTIONS]
+        if bad:
+            raise ValueError(
+                f"unknown perf sections: {', '.join(bad)} "
+                f"(known: {', '.join(BENCH_SECTIONS)})")
+        wanted = set(only)
+        sections = [name for name in sections if name in wanted]
     from repro.text.cache import cache_stats
 
-    results = {
+    results: Dict[str, Any] = {
         "meta": {
             "schema": 1,
             "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -355,11 +539,9 @@ def run_all(**overrides: Any) -> Dict[str, Any]:
             "platform": platform.platform(),
             "params": params,
         },
-        "sensitivity": bench_sensitivity(**params),
-        "simulator": bench_simulator(**params),
-        "search": bench_search(**params),
-        "monitor": bench_monitor(**params),
     }
+    for name in sections:
+        results[name] = BENCH_SECTIONS[name](**params)
     results["text_caches"] = cache_stats()
     return results
 
@@ -376,42 +558,83 @@ def load_baseline(path: str) -> Dict[str, Any]:
 
 
 def format_report(results: Dict[str, Any]) -> str:
-    """The human-readable table ``repro perf`` prints."""
-    sens = results["sensitivity"]
-    sim = results["simulator"]
-    search = results["search"]
+    """The human-readable table ``repro perf`` prints.
+
+    Tolerates missing sections (``repro perf --only ...`` runs a
+    subset); each block renders only when its section is present.
+    """
+    sens = results.get("sensitivity")
+    sim = results.get("simulator")
+    search = results.get("search")
+    scaling = results.get("engine_scaling")
     mon = results.get("monitor")
     lines = [
         "== CYCLOSA pipeline perf ==",
         f"python {results['meta']['python']}  "
         f"({results['meta']['platform']})",
-        "",
-        f"sensitivity ({sens['history_size']}-query history, "
-        f"{sens['probes']} probes)",
-        f"  cold assessments/sec      : {sens['cold_assessments_per_sec']:>12.1f}",
-        f"  warm assessments/sec      : {sens['warm_assessments_per_sec']:>12.1f}",
-        f"  linkability indexed/sec   : "
-        f"{sens['linkability_indexed_scores_per_sec']:>12.1f}",
-        f"  linkability linear/sec    : "
-        f"{sens['linkability_linear_scores_per_sec']:>12.1f}",
-        f"  indexed speedup           : "
-        f"{sens['linkability_speedup']:>11.1f}x  "
-        f"(scores identical: {sens['scores_bit_identical']})",
-        "",
-        f"simulator ({sim['events']} events, {sim['cancelled']} cancelled)",
-        f"  events/sec                : {sim['events_per_sec']:>12.0f}",
-        "",
-        f"end-to-end ({search['num_nodes']} nodes, "
-        f"{search['searches']} searches, {search['ok']} ok)",
-        f"  searches/sec (wall)       : {search['searches_per_sec']:>12.2f}",
-        f"  deploy seconds            : {search['deploy_seconds']:>12.2f}",
-        "  simulated stage breakdown :",
     ]
-    for stage, duration in search["stage_breakdown_simulated_seconds"].items():
-        lines.append(f"    {stage:<20} {duration * 1000:>10.3f} ms")
-    total = search.get("simulated_end_to_end_seconds")
-    if total is not None:
-        lines.append(f"    {'end-to-end':<20} {total * 1000:>10.3f} ms")
+    if sens is not None:
+        lines += [
+            "",
+            f"sensitivity ({sens['history_size']}-query history, "
+            f"{sens['probes']} probes)",
+            f"  cold assessments/sec      : "
+            f"{sens['cold_assessments_per_sec']:>12.1f}",
+            f"  warm assessments/sec      : "
+            f"{sens['warm_assessments_per_sec']:>12.1f}",
+            f"  linkability indexed/sec   : "
+            f"{sens['linkability_indexed_scores_per_sec']:>12.1f}",
+            f"  linkability linear/sec    : "
+            f"{sens['linkability_linear_scores_per_sec']:>12.1f}",
+            f"  indexed speedup           : "
+            f"{sens['linkability_speedup']:>11.1f}x  "
+            f"(scores identical: {sens['scores_bit_identical']})",
+        ]
+    if sim is not None:
+        lines += [
+            "",
+            f"simulator ({sim['events']} events, "
+            f"{sim['cancelled']} cancelled)",
+            f"  events/sec                : {sim['events_per_sec']:>12.0f}",
+        ]
+    if search is not None:
+        lines += [
+            "",
+            f"end-to-end ({search['num_nodes']} nodes, "
+            f"{search['searches']} searches, {search['ok']} ok)",
+            f"  searches/sec (wall)       : "
+            f"{search['searches_per_sec']:>12.2f}",
+            f"  deploy seconds            : "
+            f"{search['deploy_seconds']:>12.2f}",
+            "  simulated stage breakdown :",
+        ]
+        breakdown = search["stage_breakdown_simulated_seconds"]
+        for stage, duration in breakdown.items():
+            lines.append(f"    {stage:<20} {duration * 1000:>10.3f} ms")
+        total = search.get("simulated_end_to_end_seconds")
+        if total is not None:
+            lines.append(f"    {'end-to-end':<20} {total * 1000:>10.3f} ms")
+    if scaling is not None:
+        lines += [
+            "",
+            f"engine tier ({scaling['engine_queries']} queries, "
+            f"{scaling['unique_queries']} unique, "
+            f"{scaling['corpus_docs']} docs)",
+            f"  baseline searches/sec     : "
+            f"{scaling['baseline_searches_per_sec']:>12.1f}  "
+            "(1 replica, no cache/batch)",
+        ]
+        for row in scaling["scaled"]:
+            hit = row["cache_hit_rate"]
+            hit_text = f"{hit * 100:.0f}% cache hits" if hit is not None \
+                else "no cache"
+            lines.append(
+                f"  {row['replicas']} replica(s) searches/sec : "
+                f"{row['searches_per_sec']:>12.1f}  ({hit_text})")
+        lines.append(
+            f"  best speedup              : "
+            f"{scaling['speedup']:>11.1f}x  "
+            f"(sharded identical: {scaling['sharded_identical']})")
     if mon is not None:
         lines += [
             "",
@@ -430,6 +653,8 @@ def compare(baseline: Dict[str, Any], fresh: Dict[str, Any],
     throughput fell more than *tolerance* below the baseline."""
     rows = []
     for section, key in THROUGHPUT_KEYS:
+        if section not in baseline or section not in fresh:
+            continue  # partial run / older-schema baseline
         base = float(baseline[section][key])
         now = float(fresh[section][key])
         ratio = now / base if base else float("inf")

@@ -5,7 +5,8 @@ transport node with:
 
 - a processing-latency model (commercial engines answer in a few
   hundred milliseconds; the default is calibrated for Fig 8a),
-- the per-identity :class:`~repro.searchengine.ratelimit.RateLimiter`,
+- the per-identity :class:`~repro.searchengine.ratelimit.RateLimiter`
+  (one limiter per replica — Fig 8d reproduces per replica),
 - the honest-but-curious :class:`~repro.searchengine.adversary.QueryLogTap`,
 - TLS support, so enclaves can query over channels the relay host
   cannot read (§V-F: "CYCLOSA uses TLS connections to search engines
@@ -23,33 +24,89 @@ Two request flavours are served:
 group id). It rides inside the encrypted payload, is copied verbatim to
 the log tap, and is read exclusively by metric code — never by the
 attack, which sees only (identity, text, time).
+
+Engine tier scale-out
+---------------------
+A node can be one replica of a sharded engine tier (*cluster* lists
+every replica address, *engine* holds this replica's shard — see
+:mod:`repro.searchengine.sharding`). The replica that receives a query
+acts as its coordinator: it ranks its own shard, scatter-gathers
+partial top-k lists from the sibling replicas over sealed channels
+(kind ``shard``), and merges them into a result page byte-identical to
+the unsharded engine's. A sibling that stays silent past
+*shard_timeout* is skipped (degraded page from the surviving shards —
+the chaos matrix's replica-crash cell exercises exactly this).
+
+Two caches and a batch window cut the ranking CPU without touching the
+wire (*privacy invariant*: a cache hit is indistinguishable from a miss
+to a wiretap — message kinds, sealed sizes and the seeded response
+timing are identical either way; only wall-clock ranking work is
+skipped):
+
+- *response_cache* — final result pages per query at the coordinator;
+- *partial_cache* — per-shard partial top-k lists per term tuple;
+- *batch_window* > 0 queues admitted queries on the simulated clock
+  and serves each flush together: duplicates are ranked once and the
+  whole batch shares one scatter-gather round per sibling.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.crypto.keys import IdentityKeyPair
 from repro.net.latency import LatencyModel, LogNormalLatency
+from repro.net.tls import SecureChannelManager, SignatureAuthenticator, TlsError
 from repro.net.transport import Network, NetNode, RequestContext
-from repro.net.tls import SecureChannelManager, SignatureAuthenticator
 from repro.obs import (OBS, TraceContext, close_remote_span,
                        open_remote_span, query_hash_bucket)
 from repro.searchengine.adversary import QueryLogTap
-from repro.searchengine.engine import SearchEngine
+from repro.searchengine.cache import ResultCache
+from repro.searchengine.engine import SearchEngine, SearchHit
 from repro.searchengine.ratelimit import RateLimiter, RateLimitVerdict
+from repro.searchengine.sharding import query_plan
 
 DEFAULT_PROCESSING = LogNormalLatency(median=0.32, sigma=0.35)
 
+#: RPC kind of the sealed replica-to-replica partial top-k exchange.
+SHARD_KIND = "shard"
+
+
+@dataclass
+class _PendingQuery:
+    """One admitted query waiting to be served (its batch, or its
+    scatter-gather round, is still in flight)."""
+
+    ctx: RequestContext
+    identity: str
+    query: str
+    sealed_for: Any
+    traceparent: Optional[str] = None
+
+
+@dataclass
+class _ScatterState:
+    """Book-keeping of one scatter-gather round."""
+
+    pending: int
+    partials: Dict[str, Any] = field(default_factory=dict)
+    done: bool = False
+
 
 class SearchEngineNode(NetNode):
-    """The engine's network front-end."""
+    """The engine's network front-end (one replica of the tier)."""
 
     def __init__(self, network: Network, engine: SearchEngine, rng,
                  address: str = "engine",
                  processing: Optional[LatencyModel] = None,
                  rate_limiter: Optional[RateLimiter] = None,
-                 log_capacity: Optional[int] = None) -> None:
+                 log_capacity: Optional[int] = None,
+                 cluster: Optional[Sequence[str]] = None,
+                 response_cache: Optional[ResultCache] = None,
+                 partial_cache: Optional[ResultCache] = None,
+                 batch_window: float = 0.0,
+                 shard_timeout: float = 2.0) -> None:
         super().__init__(network, address)
         self.engine = engine
         self.rng = rng
@@ -59,6 +116,14 @@ class SearchEngineNode(NetNode):
         self.identity = IdentityKeyPair.generate(bits=512, rng=rng)
         self.tls = SecureChannelManager(
             self, SignatureAuthenticator(self.identity), rng)
+        self.cluster = list(cluster) if cluster else None
+        self.siblings = ([peer for peer in self.cluster if peer != address]
+                         if self.cluster else [])
+        self.response_cache = response_cache
+        self.partial_cache = partial_cache
+        self.batch_window = batch_window
+        self.shard_timeout = shard_timeout
+        self._batch: List[_PendingQuery] = []
 
     # -- request handling --------------------------------------------------
 
@@ -70,6 +135,8 @@ class SearchEngineNode(NetNode):
             self._serve_plain(ctx)
         elif kind == "searchtls.req":
             self._serve_sealed(ctx)
+        elif kind == f"{SHARD_KIND}.req":
+            self._serve_shard(ctx)
         # Unknown kinds are silently dropped (the engine is not a peer).
 
     def _serve_plain(self, ctx: RequestContext) -> None:
@@ -141,10 +208,141 @@ class SearchEngineNode(NetNode):
         if OBS.enabled:
             OBS.registry.counter("cyclosa_engine_queries_total",
                                  "queries served by the engine").inc()
-        hits = self.engine.search(query)
-        response = {
-            "status": "ok",
-            "hits": [
+            OBS.registry.counter(
+                "cyclosa_engine_replica_queries_total",
+                "queries served, per engine replica",
+                replica=self.address).inc()
+        job = _PendingQuery(ctx=ctx, identity=identity, query=query,
+                            sealed_for=sealed_for, traceparent=traceparent)
+        if self.batch_window > 0:
+            self._batch.append(job)
+            if len(self._batch) == 1:
+                self.network.simulator.post(self.batch_window,
+                                            self._flush_batch)
+            return
+        self._serve_jobs([job])
+
+    # -- batching ----------------------------------------------------------
+
+    def _flush_batch(self) -> None:
+        jobs, self._batch = self._batch, []
+        if not jobs:
+            return
+        if OBS.enabled:
+            OBS.registry.histogram(
+                "cyclosa_engine_batch_size",
+                "admitted queries per batch-window flush").observe(len(jobs))
+        self._serve_jobs(jobs)
+
+    # -- serving -----------------------------------------------------------
+
+    def _serve_jobs(self, jobs: List[_PendingQuery]) -> None:
+        """Serve a set of admitted queries together: duplicates are
+        ranked once, and (in a cluster) the whole set shares one
+        scatter-gather round per sibling replica."""
+        unique = list(dict.fromkeys(job.query for job in jobs))
+        if not self.siblings:
+            self._finish_jobs(jobs, unique, plans=None, sibling_partials={})
+            return
+        topk = self.engine.results_per_query
+        plans = [query_plan(query, self.engine.or_support)
+                 for query in unique]
+        state = _ScatterState(pending=len(self.siblings))
+
+        def conclude() -> None:
+            if state.done or state.pending > 0:
+                return
+            state.done = True
+            self._finish_jobs(jobs, unique, plans=plans,
+                              sibling_partials=state.partials)
+
+        request = {"q": plans, "k": topk}
+        for sibling in self.siblings:
+            channel = self.tls.channel(sibling)
+            if channel is None:
+                state.pending -= 1
+                continue
+
+            def on_reply(payload: Any, channel=channel,
+                         sibling=sibling) -> None:
+                try:
+                    record = channel.open(payload)
+                except TlsError:
+                    record = None
+                if isinstance(record, dict) and "p" in record:
+                    state.partials[sibling] = record["p"]
+                state.pending -= 1
+                conclude()
+
+            def on_timeout(sibling=sibling) -> None:
+                if OBS.enabled:
+                    OBS.registry.counter(
+                        "cyclosa_engine_shard_timeouts_total",
+                        "sibling scatter-gather requests that timed out",
+                        replica=self.address).inc()
+                state.pending -= 1
+                conclude()
+
+            self.request(sibling, channel.seal(request, rng=self.rng),
+                         on_reply, timeout=self.shard_timeout,
+                         on_timeout=on_timeout, kind=SHARD_KIND)
+        conclude()  # every sibling may have lacked a channel
+
+    def _serve_shard(self, ctx: RequestContext) -> None:
+        """Answer a sibling coordinator's sealed partial top-k request."""
+        channel = self.tls.channel(ctx.request.src)
+        if channel is None:
+            return
+        try:
+            record = channel.open(ctx.request.payload)
+        except TlsError:
+            return
+        topk = record["k"]
+        partials = [
+            [self._encode_hits(self._partial_rank(terms, topk))
+             for terms in term_lists]
+            for term_lists in record["q"]
+        ]
+        if OBS.enabled:
+            OBS.registry.counter(
+                "cyclosa_engine_shard_requests_total",
+                "sibling partial top-k requests served",
+                replica=self.address).inc()
+        ctx.respond(channel.seal({"p": partials}, rng=self.rng))
+
+    def _partial_rank(self, terms: Sequence[str],
+                      topk: int) -> List[SearchHit]:
+        """This replica's shard partial for *terms*, through the
+        partial cache when one is configured."""
+        if self.partial_cache is None:
+            return self.engine.rank_terms(terms, topk)
+        key = (tuple(terms), topk)
+        found, hits = self.partial_cache.get(key)
+        if OBS.enabled:
+            OBS.registry.counter(
+                "cyclosa_engine_shard_lookups_total",
+                "partial-cache lookups at shard ranking time",
+                replica=self.address,
+                result="hit" if found else "miss").inc()
+        if not found:
+            hits = self.engine.rank_terms(terms, topk)
+            self.partial_cache.put(key, hits)
+        return hits
+
+    def _encode_hits(self, hits: Sequence[SearchHit]) -> List[Dict[str, Any]]:
+        return [
+            {"d": hit.doc_id, "u": hit.url, "s": hit.score,
+             "t": list(self.engine.document(hit.doc_id).title_terms)}
+            for hit in hits
+        ]
+
+    def _result_page(self, query: str, plans, plan_index: int,
+                     sibling_partials: Dict[str, Any]) -> List[Dict[str, Any]]:
+        """The final ``hits`` page for one query (coordinator side)."""
+        topk = self.engine.results_per_query
+        if not self.siblings:
+            hits = self.engine.search(query)
+            return [
                 {
                     "doc_id": hit.doc_id,
                     "url": hit.url,
@@ -152,20 +350,75 @@ class SearchEngineNode(NetNode):
                     "title": list(self.engine.document(hit.doc_id).title_terms),
                 }
                 for hit in hits
-            ],
-        }
-        delay = self.processing.sample(self.rng)
-        if OBS.enabled:
-            OBS.registry.histogram(
-                "cyclosa_engine_processing_seconds",
-                "engine-side processing latency per answered query"
-            ).observe(delay)
-            span = OBS.tracer.start_span("engine_processing", attributes={
-                "identity": identity})
-            OBS.tracer.end_span(span, end_time=span.start + delay)
-            self._emit_serve_span(traceparent, query, status="ok",
-                                  hits=len(response["hits"]), delay=delay)
-        self._respond_after_delay(ctx, response, sealed_for, delay=delay)
+            ]
+        term_lists = plans[plan_index]
+        rankings: List[List[Dict[str, Any]]] = []
+        for sub_index, terms in enumerate(term_lists):
+            candidates = self._encode_hits(self._partial_rank(terms, topk))
+            for sibling in self.siblings:
+                partial = sibling_partials.get(sibling)
+                if partial is None:
+                    continue  # silent sibling: degrade to surviving shards
+                try:
+                    candidates.extend(partial[plan_index][sub_index])
+                except (IndexError, KeyError, TypeError):
+                    continue  # malformed partial: treat as missing
+            candidates.sort(key=lambda h: (-h["s"], h["d"]))
+            rankings.append(candidates[:topk])
+        if len(rankings) == 1:
+            merged = rankings[0]
+        else:
+            # OR union, per-document best score (first sub-query wins
+            # ties) — mirrors engine.or_union over wire-encoded hits.
+            best: Dict[int, Dict[str, Any]] = {}
+            for ranking in rankings:
+                for hit in ranking:
+                    existing = best.get(hit["d"])
+                    if existing is None or hit["s"] > existing["s"]:
+                        best[hit["d"]] = hit
+            merged = sorted(best.values(),
+                            key=lambda h: (-h["s"], h["d"]))[: 2 * topk]
+        return [
+            {"doc_id": hit["d"], "url": hit["u"], "score": hit["s"],
+             "title": list(hit["t"])}
+            for hit in merged
+        ]
+
+    def _finish_jobs(self, jobs: List[_PendingQuery], unique: List[str],
+                     plans, sibling_partials: Dict[str, Any]) -> None:
+        pages: Dict[str, List[Dict[str, Any]]] = {}
+        for plan_index, query in enumerate(unique):
+            if self.response_cache is not None:
+                found, page = self.response_cache.get(query)
+                if OBS.enabled:
+                    OBS.registry.counter(
+                        "cyclosa_engine_cache_lookups_total",
+                        "response-cache lookups at the replica front-end",
+                        replica=self.address,
+                        result="hit" if found else "miss").inc()
+                if found:
+                    pages[query] = page
+                    continue
+            page = self._result_page(query, plans, plan_index,
+                                     sibling_partials)
+            if self.response_cache is not None:
+                self.response_cache.put(query, page)
+            pages[query] = page
+        for job in jobs:
+            response = {"status": "ok", "hits": list(pages[job.query])}
+            delay = self.processing.sample(self.rng)
+            if OBS.enabled:
+                OBS.registry.histogram(
+                    "cyclosa_engine_processing_seconds",
+                    "engine-side processing latency per answered query"
+                ).observe(delay)
+                span = OBS.tracer.start_span("engine_processing", attributes={
+                    "identity": job.identity})
+                OBS.tracer.end_span(span, end_time=span.start + delay)
+                self._emit_serve_span(job.traceparent, job.query, status="ok",
+                                      hits=len(response["hits"]), delay=delay)
+            self._respond_after_delay(job.ctx, response, job.sealed_for,
+                                      delay=delay)
 
     def _respond_after_delay(self, ctx: RequestContext, response: Dict[str, Any],
                              sealed_for, delay: float) -> None:
@@ -175,4 +428,4 @@ class SearchEngineNode(NetNode):
             else:
                 ctx.respond(response)
 
-        self.network.simulator.schedule(delay, respond)
+        self.network.simulator.post(delay, respond)

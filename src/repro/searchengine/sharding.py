@@ -1,0 +1,176 @@
+"""Sharded TF-IDF: partition the posting lists, merge byte-identically.
+
+The engine tier scales out by splitting the corpus across N replica
+nodes (:mod:`repro.searchengine.node`), each indexing one shard. The
+invariant everything here exists to preserve:
+
+    **the merged sharded top-k is byte-identical to the unsharded
+    engine's top-k, at any shard count.**
+
+Three facts make that possible:
+
+1. *Deterministic assignment* — document ``d`` lives in shard
+   ``d.doc_id % num_shards`` and nowhere else, so every document is
+   scored exactly once.
+2. *Corpus-global IDF* — every shard scores with
+   :meth:`SearchEngine.compute_idf` over the whole corpus, so a
+   document's accumulated score is bit-for-bit the number the
+   unsharded index would produce (same terms, same weights, same
+   float-addition order).
+3. *Total order* — rankings are ordered by ``(-score, doc_id)``; since
+   per-document scores agree bitwise and ``doc_id`` is unique, merging
+   per-shard partial top-k lists under the same key reproduces the
+   global order exactly, and a global top-k document is necessarily in
+   its own shard's top-k.
+
+OR queries need care: the union-of-subquery-pages step truncates each
+sub-query's page to the *global* top-k first (a document can sneak into
+a small shard's page while missing the global page), so coordinators
+merge per sub-query and only then apply :func:`or_union` — exactly the
+order :class:`ShardedSearchEngine.search` implements.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Optional, Sequence
+
+from repro.searchengine.corpus import Corpus, Document
+from repro.searchengine.engine import (OR_SEPARATOR, SearchEngine, SearchHit,
+                                       or_union, split_or)
+from repro.text.tokenize import tokenize
+
+
+def shard_of(doc_id: int, num_shards: int) -> int:
+    """The shard a document is assigned to (deterministic, total)."""
+    return doc_id % num_shards
+
+
+def shard_documents(corpus: Corpus,
+                    num_shards: int) -> List[List[Document]]:
+    """Partition the corpus documents by :func:`shard_of`, preserving
+    corpus order within each shard."""
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    shards: List[List[Document]] = [[] for _ in range(num_shards)]
+    for document in corpus.documents:
+        shards[shard_of(document.doc_id, num_shards)].append(document)
+    return shards
+
+
+def build_shard_engines(corpus: Corpus, num_shards: int,
+                        results_per_query: int = 10,
+                        or_support: str = "native") -> List[SearchEngine]:
+    """One :class:`SearchEngine` per shard, all sharing corpus-global
+    IDF statistics."""
+    idf = SearchEngine.compute_idf(corpus.documents)
+    return [
+        SearchEngine(corpus, results_per_query=results_per_query,
+                     or_support=or_support, documents=shard, idf=idf)
+        for shard in shard_documents(corpus, num_shards)
+    ]
+
+
+def merge_partials(partials: Sequence[Sequence[SearchHit]],
+                   topk: int) -> List[SearchHit]:
+    """Merge per-shard partial top-k lists into the global top-k.
+
+    Byte-deterministic: ordered by ``(-score, doc_id)``, the same total
+    order the unsharded engine ranks under. Each document appears in at
+    most one partial, so no dedup is needed.
+    """
+    merged = sorted((hit for partial in partials for hit in partial),
+                    key=lambda h: (-h.score, h.doc_id))
+    return merged[:topk]
+
+
+def query_plan(query: str, or_support: str) -> List[List[str]]:
+    """The per-sub-query term lists a coordinator scatters to shards.
+
+    One entry for a plain query; one entry per sub-query for a
+    native-OR query (merging must happen per sub-query *before* the OR
+    union — see the module docstring).
+    """
+    subqueries = split_or(query, or_support)
+    if subqueries is not None:
+        return [tokenize(subquery) for subquery in subqueries]
+    return [tokenize(query.replace(OR_SEPARATOR, " "))]
+
+
+def combine_subquery_rankings(rankings: Sequence[List[SearchHit]],
+                              topk: int) -> List[SearchHit]:
+    """Final result page from per-sub-query *global* rankings: the
+    ranking itself for a plain query, the OR union otherwise."""
+    if len(rankings) == 1:
+        return rankings[0]
+    return or_union(rankings, topk)
+
+
+def replica_addresses(num_replicas: int) -> List[str]:
+    """Transport addresses of the engine replica tier. Replica 0 keeps
+    the historical ``engine`` address, so single-replica deployments
+    stay byte-identical to the pre-sharding ones."""
+    if num_replicas < 1:
+        raise ValueError("num_replicas must be >= 1")
+    return ["engine"] + [f"engine{index}"
+                         for index in range(1, num_replicas)]
+
+
+def route_to_replica(identity: str, addresses: Sequence[str]) -> str:
+    """Deterministically assign a client identity to one replica.
+
+    A stable content hash (crc32, seed-independent) keeps the mapping
+    identical across runs and processes, so per-identity rate limiting
+    (Fig 8d) keeps seeing every identity at the same replica.
+    """
+    if not addresses:
+        raise ValueError("no replica addresses to route to")
+    return addresses[zlib.crc32(identity.encode("utf-8")) % len(addresses)]
+
+
+class ShardedSearchEngine:
+    """In-process facade over N shard engines.
+
+    Drop-in for :class:`SearchEngine` where ranking is concerned:
+    ``search`` returns byte-identical results at any ``num_shards``
+    (the equivalence the tier's tests pin). The network tier
+    distributes the same computation across replica nodes; this class
+    is the reference the wire protocol must agree with.
+    """
+
+    def __init__(self, corpus: Corpus, num_shards: int,
+                 results_per_query: int = 10,
+                 or_support: str = "native") -> None:
+        self.corpus = corpus
+        self.num_shards = num_shards
+        self.results_per_query = results_per_query
+        self.or_support = or_support
+        self.shards = build_shard_engines(
+            corpus, num_shards, results_per_query=results_per_query,
+            or_support=or_support)
+
+    def search(self, query: str,
+               topk: Optional[int] = None) -> List[SearchHit]:
+        topk = topk if topk is not None else self.results_per_query
+        rankings = [self._global_rank(terms, topk)
+                    for terms in query_plan(query, self.or_support)]
+        return combine_subquery_rankings(rankings, topk)
+
+    def search_batch(self, queries: Sequence[str],
+                     topk: Optional[int] = None) -> List[List[SearchHit]]:
+        memo: Dict[str, List[SearchHit]] = {}
+        results: List[List[SearchHit]] = []
+        for query in queries:
+            ranked = memo.get(query)
+            if ranked is None:
+                ranked = self.search(query, topk)
+                memo[query] = ranked
+            results.append(list(ranked))
+        return results
+
+    def _global_rank(self, terms: List[str], topk: int) -> List[SearchHit]:
+        return merge_partials(
+            [shard.rank_terms(terms, topk) for shard in self.shards], topk)
+
+    def document(self, doc_id: int) -> Document:
+        return self.shards[shard_of(doc_id, self.num_shards)].document(doc_id)

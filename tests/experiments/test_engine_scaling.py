@@ -1,0 +1,19 @@
+"""Smoke test for the engine scale-out experiment."""
+
+from repro.experiments import engine_scaling
+
+
+class TestEngineScalingExperiment:
+    def test_rows_identical_and_load_spread(self):
+        rows = engine_scaling.run(
+            num_nodes=6, replica_counts=(1, 3), seed=2,
+            queries=engine_scaling.DEFAULT_QUERIES[:4])
+        assert [row["replicas"] for row in rows] == [1, 3]
+        assert all(row["pages_identical"] for row in rows)
+        single, sharded = rows
+        assert single["served_per_replica"] == [sum(
+            sharded["served_per_replica"])]
+        assert len(sharded["served_per_replica"]) == 3
+        assert single["cache_hit_rate"] is None
+        assert sharded["cache_hit_rate"] is not None
+        assert all(row["median_latency"] > 0 for row in rows)

@@ -17,7 +17,8 @@ class TestMatrixShape:
         assert names[0] == "baseline"
         for expected in ("drop-forward", "slow-relays", "duplicate-storm",
                          "corrupt-forward", "crash-after-receive",
-                         "attest-deny", "ratelimit-storm", "combo"):
+                         "attest-deny", "ratelimit-storm", "replica-crash",
+                         "combo"):
             assert expected in names
 
     def test_matrix_cells_filters_in_matrix_order(self):

@@ -1,0 +1,65 @@
+"""Fault injection meets the engine replica tier.
+
+Two behaviours earn their own file: a rate-limit storm must blanket
+*every* replica (a storm that only hit replica 0 would quietly exempt
+two thirds of the identities), and the chaos matrix's ``replica-crash``
+cell must show searches surviving a crashed replica."""
+
+import pytest
+
+from repro.core.client import CyclosaNetwork
+from repro.core.config import CyclosaConfig
+from repro.faults import chaos
+from repro.faults.inject import install
+from repro.faults.plan import FaultPlan, RateLimitStorm
+from repro.searchengine.ratelimit import RateLimiter
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture
+def replica_deployment():
+    return CyclosaNetwork.create(
+        num_nodes=6, seed=4,
+        config=CyclosaConfig(engine_replicas=3, engine_rate_limit=100))
+
+
+class TestStormCoversTheTier:
+    def test_storm_wraps_every_replica_and_uninstall_restores(
+            self, replica_deployment):
+        originals = [node.rate_limiter
+                     for node in replica_deployment.engine_nodes]
+        plan = FaultPlan(faults=(RateLimitStorm(start=0.0, end=10.0),))
+        installed = install(plan, replica_deployment)
+        for node, original in zip(replica_deployment.engine_nodes,
+                                  originals):
+            assert node.rate_limiter is not original
+        installed.uninstall()
+        for node, original in zip(replica_deployment.engine_nodes,
+                                  originals):
+            assert node.rate_limiter is original
+
+    def test_storm_captchas_whichever_replica_serves(
+            self, replica_deployment):
+        plan = FaultPlan(faults=(RateLimitStorm(start=0.0, end=1e9),))
+        install(plan, replica_deployment)
+        statuses = {
+            replica_deployment.node(index).search("symptoms cancer").status
+            for index in range(3)}
+        assert statuses == {"captcha"}
+
+
+class TestReplicaCrashCell:
+    def test_cell_exists_with_its_overrides(self):
+        (cell,) = chaos.matrix_cells(["replica-crash"])
+        assert cell.config_overrides["engine_replicas"] == 3
+        assert cell.config_overrides["engine_cache_size"] == 256
+
+    def test_searches_survive_a_crashed_replica(self):
+        row = chaos.run_cell(chaos.matrix_cells(["replica-crash"])[0],
+                             num_nodes=6, queries=3, seed=11)
+        assert row["faults_injected"].get("crash", 0) >= 1
+        assert row["hung_searches"] == 0
+        assert row["disjointness_violations"] == 0
+        assert sum(row["statuses"].values()) == row["queries"]
+        assert row["success_rate"] >= 0.5

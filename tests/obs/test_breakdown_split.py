@@ -1,0 +1,115 @@
+"""Tests for ``split_engine_service``: the stage-breakdown fix that
+separates engine service time from the relay path's network time.
+
+Before the split, the real leg's ``engine`` and ``path`` rows both
+reported the same client-observed round trip; now ``engine`` is the
+engine-side ``engine.serve`` span's duration and ``path`` is the
+remainder (relay hops + links)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+import pytest
+
+from repro import obs
+from repro.core.client import CyclosaNetwork
+from repro.obs.breakdown import (StageTiming, split_engine_service,
+                                 stage_breakdown)
+
+pytestmark = pytest.mark.obs
+
+
+@dataclass
+class FakeSpan:
+    """Duck-typed stand-in for a tracer span (only the fields
+    ``split_engine_service`` reads)."""
+
+    name: str
+    duration: float
+    trace_id: str = "t1"
+    finished: bool = True
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+
+def make_rows():
+    return [
+        StageTiming(stage="engine", start=1.0, duration=1.0,
+                    attributes={"relay": "node03"}),
+        StageTiming(stage="path", start=1.0, duration=1.0,
+                    attributes={}),
+    ]
+
+
+class TestUnitSplit:
+    def test_rewrites_engine_to_service_and_path_to_remainder(self):
+        spans = [
+            FakeSpan("path", 1.0, attributes={"relay": "node03", "path": 2}),
+            FakeSpan("engine.serve", 0.3, attributes={"path": 2}),
+        ]
+        rows = split_engine_service(make_rows(), spans, trace_id="t1")
+        by_name = {row.stage: row for row in rows}
+        assert by_name["engine"].duration == pytest.approx(0.3)
+        assert by_name["path"].duration == pytest.approx(0.7)
+
+    def test_unchanged_without_a_serve_span(self):
+        spans = [FakeSpan("path", 1.0,
+                          attributes={"relay": "node03", "path": 2})]
+        rows = split_engine_service(make_rows(), spans, trace_id="t1")
+        assert all(row.duration == 1.0 for row in rows)
+
+    def test_unchanged_without_a_matching_leg(self):
+        spans = [
+            FakeSpan("path", 1.0, attributes={"relay": "other", "path": 0}),
+            FakeSpan("engine.serve", 0.3, attributes={"path": 0}),
+        ]
+        rows = split_engine_service(make_rows(), spans, trace_id="t1")
+        assert all(row.duration == 1.0 for row in rows)
+
+    def test_unchanged_when_service_exceeds_round_trip(self):
+        # A clock anomaly (service longer than the observed round trip)
+        # must not produce a negative path row.
+        spans = [
+            FakeSpan("path", 1.0, attributes={"relay": "node03", "path": 2}),
+            FakeSpan("engine.serve", 5.0, attributes={"path": 2}),
+        ]
+        rows = split_engine_service(make_rows(), spans, trace_id="t1")
+        assert all(row.duration == 1.0 for row in rows)
+
+    def test_unchanged_without_engine_or_path_rows(self):
+        only_engine = [StageTiming(stage="engine", start=0.0, duration=1.0)]
+        assert split_engine_service(only_engine, []) == only_engine
+
+    def test_other_trace_spans_are_ignored(self):
+        spans = [
+            FakeSpan("path", 1.0, trace_id="other",
+                     attributes={"relay": "node03", "path": 2}),
+            FakeSpan("engine.serve", 0.3, trace_id="other",
+                     attributes={"path": 2}),
+        ]
+        rows = split_engine_service(make_rows(), spans, trace_id="t1")
+        assert all(row.duration == 1.0 for row in rows)
+
+
+class TestEndToEnd:
+    def test_real_trace_splits_engine_from_path(self):
+        deployment = CyclosaNetwork.create(num_nodes=8, seed=3,
+                                           observe=True)
+        result = deployment.node(0).search("test query")
+        assert result.ok
+        spans = (list(obs.get_tracer().sink.spans)
+                 + obs.OBS.router.all_spans())
+        rows = stage_breakdown(spans, trace_id=result.trace_id)
+        before = {row.stage: row.duration for row in rows}
+        rows = split_engine_service(rows, spans, trace_id=result.trace_id)
+        after = {row.stage: row.duration for row in rows}
+        # The fix's point: the two rows no longer alias each other.
+        assert after["engine"] < before["engine"]
+        assert after["engine"] != after["path"]
+        assert after["engine"] > 0 and after["path"] > 0
+        # Before the split both rows alias the same client-observed
+        # round trip; the split partitions that round trip exactly.
+        assert before["engine"] == pytest.approx(before["path"])
+        assert after["engine"] + after["path"] == \
+            pytest.approx(before["engine"])

@@ -1,0 +1,74 @@
+"""Tests for the engine tier's bounded LRU result cache."""
+
+import pytest
+
+from repro.searchengine.cache import ResultCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = ResultCache(4)
+        found, value = cache.get("q")
+        assert (found, value) == (False, None)
+        cache.put("q", [1, 2])
+        found, value = cache.get("q")
+        assert (found, value) == (True, [1, 2])
+
+    def test_put_overwrites_existing_key(self):
+        cache = ResultCache(4)
+        cache.put("q", "old")
+        cache.put("q", "new")
+        assert cache.get("q") == (True, "new")
+        assert len(cache) == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ResultCache(0)
+
+    def test_clear_empties_entries(self):
+        cache = ResultCache(4)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("a") == (False, None)
+
+
+class TestLruEviction:
+    def test_evicts_least_recently_used(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a"; "b" is now the LRU entry
+        cache.put("c", 3)
+        assert cache.get("b") == (False, None)
+        assert cache.get("a") == (True, 1)
+        assert cache.get("c") == (True, 3)
+
+    def test_size_never_exceeds_capacity(self):
+        cache = ResultCache(3)
+        for index in range(10):
+            cache.put(index, index)
+            assert len(cache) <= 3
+        assert cache.evictions == 7
+
+    def test_overwrite_does_not_evict(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert cache.evictions == 0
+        assert len(cache) == 2
+
+
+class TestStats:
+    def test_counters_track_traffic(self):
+        cache = ResultCache(2)
+        cache.get("a")
+        cache.put("a", 1)
+        cache.get("a")
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.stats() == {
+            "capacity": 2, "size": 2,
+            "hits": 1, "misses": 1, "evictions": 1,
+        }

@@ -1,0 +1,196 @@
+"""Wire-level tests of the sharded engine replica tier.
+
+The in-process byte-identity lives in ``test_sharding.py``; here the
+same computation is distributed across :class:`SearchEngineNode`
+replicas over the simulated transport — coordinator scatter-gather,
+sealed sibling channels, batching, caching and the degrade path when a
+sibling goes silent.
+"""
+
+import random
+
+import pytest
+
+from repro.net.latency import ConstantLatency
+from repro.net.simulator import Simulator
+from repro.net.transport import Network, NetNode
+from repro.searchengine.cache import ResultCache
+from repro.searchengine.corpus import build_corpus
+from repro.searchengine.engine import SearchEngine
+from repro.searchengine.node import SearchEngineNode
+from repro.searchengine.sharding import build_shard_engines, replica_addresses
+
+QUERIES = [
+    "symptoms cancer treatment",
+    "cheap flights travel hotel",
+    "symptoms cancer OR football league",
+]
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus(docs_per_topic=12, seed=1)
+
+
+def build_tier(corpus, num_replicas, batch_window=0.0, cache_size=None,
+               seed=3):
+    """A ready-to-serve replica tier on a fresh simulator: channels
+    between all replica pairs are established during warm-up."""
+    rng = random.Random(seed)
+    sim = Simulator()
+    net = Network(sim, rng, default_latency=ConstantLatency(0.005))
+    addresses = replica_addresses(num_replicas)
+    if num_replicas == 1:
+        engines = [SearchEngine(corpus)]
+    else:
+        engines = build_shard_engines(corpus, num_replicas)
+    nodes = [
+        SearchEngineNode(
+            net, engines[index], rng, address=addresses[index],
+            processing=ConstantLatency(0.05),
+            cluster=addresses if num_replicas > 1 else None,
+            response_cache=(ResultCache(cache_size) if cache_size else None),
+            partial_cache=(ResultCache(cache_size)
+                           if cache_size and num_replicas > 1 else None),
+            batch_window=batch_window,
+            shard_timeout=1.0)
+        for index in range(num_replicas)
+    ]
+    for first in nodes:
+        for second in nodes:
+            if first is not second:
+                first.tls.establish(second.address,
+                                    on_ready=lambda channel: None)
+    sim.run(until=2.0)
+    return sim, net, nodes
+
+
+def fire(sim, net, target, queries, start=0.0, spacing=0.0):
+    """Send plain ``search`` requests and collect the result pages in
+    send order."""
+    client = NetNode(net, f"client-{id(queries) % 997}")
+    replies = {}
+
+    def send(index, query):
+        client.request(target, {"query": query, "meta": {}},
+                       lambda response, index=index:
+                       replies.__setitem__(index, response),
+                       timeout=60.0, kind="search")
+
+    for index, query in enumerate(queries):
+        sim.post(start + index * spacing, lambda i=index, q=query: send(i, q))
+    sim.run()
+    assert len(replies) == len(queries), "a search never completed"
+    return [replies[index] for index in range(len(queries))]
+
+
+@pytest.fixture(scope="module")
+def reference_pages(corpus):
+    sim, net, _ = build_tier(corpus, 1)
+    return fire(sim, net, "engine", QUERIES)
+
+
+class TestScatterGather:
+    @pytest.mark.parametrize("num_replicas", [2, 3])
+    def test_pages_identical_to_single_node(self, corpus, reference_pages,
+                                            num_replicas):
+        sim, net, _ = build_tier(corpus, num_replicas)
+        pages = fire(sim, net, "engine", QUERIES)
+        assert [p["hits"] for p in pages] == \
+            [p["hits"] for p in reference_pages]
+        assert all(p["status"] == "ok" for p in pages)
+
+    def test_every_replica_coordinates_identically(self, corpus,
+                                                   reference_pages):
+        for address in replica_addresses(3):
+            sim, net, _ = build_tier(corpus, 3)
+            pages = fire(sim, net, address, QUERIES)
+            assert [p["hits"] for p in pages] == \
+                [p["hits"] for p in reference_pages]
+
+    def test_sibling_exchange_is_sealed(self, corpus):
+        sim, net, nodes = build_tier(corpus, 2)
+        seen = []
+        original = nodes[1].handle_request
+
+        def spy(ctx):
+            if ctx.request.kind == "shard.req":
+                seen.append(ctx.request.payload)
+            original(ctx)
+
+        nodes[1].handle_request = spy
+        fire(sim, net, "engine", QUERIES[:1])
+        assert seen, "coordinator never consulted its sibling"
+        assert all(isinstance(payload, bytes) for payload in seen)
+
+
+class TestBatching:
+    def test_batched_pages_match_unbatched(self, corpus, reference_pages):
+        sim, net, _ = build_tier(corpus, 3, batch_window=0.3)
+        # All queries land inside one window (spacing 0.01 < 0.3).
+        pages = fire(sim, net, "engine", QUERIES, spacing=0.01)
+        assert [p["hits"] for p in pages] == \
+            [p["hits"] for p in reference_pages]
+
+    def test_duplicates_in_a_batch_are_ranked_once(self, corpus):
+        sim, net, nodes = build_tier(corpus, 1, batch_window=0.3)
+        coordinator = nodes[0]
+        calls = []
+        original = coordinator._result_page
+
+        def counting(query, plans, plan_index, sibling_partials):
+            calls.append(query)
+            return original(query, plans, plan_index, sibling_partials)
+
+        coordinator._result_page = counting
+        query = QUERIES[0]
+        pages = fire(sim, net, "engine", [query] * 4, spacing=0.01)
+        assert calls == [query]
+        assert all(p["hits"] == pages[0]["hits"] for p in pages)
+
+    def test_batch_of_one_still_answers(self, corpus, reference_pages):
+        sim, net, _ = build_tier(corpus, 2, batch_window=0.2)
+        pages = fire(sim, net, "engine", QUERIES[:1])
+        assert pages[0]["hits"] == reference_pages[0]["hits"]
+
+
+class TestCaching:
+    def test_repeat_query_hits_the_cache_with_same_page(self, corpus):
+        sim, net, nodes = build_tier(corpus, 2, cache_size=64)
+        query = QUERIES[0]
+        pages = fire(sim, net, "engine", [query] * 3, spacing=2.0)
+        assert nodes[0].response_cache.hits >= 2
+        assert all(p["hits"] == pages[0]["hits"] for p in pages)
+
+    def test_partial_cache_spares_repeat_shard_rankings(self, corpus):
+        sim, net, nodes = build_tier(corpus, 2, cache_size=64)
+        # Distinct coordinators, same query: replica "engine1" serves a
+        # shard request for engine's round, then coordinates its own —
+        # both rounds share the partial-cache entry.
+        query = QUERIES[0]
+        fire(sim, net, "engine", [query], start=0.0)
+        fire(sim, net, "engine1", [query], start=10.0)
+        assert nodes[1].partial_cache.hits >= 1
+
+
+class TestDegrade:
+    def test_silent_sibling_degrades_instead_of_hanging(self, corpus,
+                                                        reference_pages):
+        sim, net, nodes = build_tier(corpus, 3)
+        # engine2 goes silent *after* the TLS warm-up: shard requests
+        # reach it but are dropped on the floor.
+        nodes[2].handle_request = lambda ctx: None
+        pages = fire(sim, net, "engine", QUERIES)
+        assert all(p["status"] == "ok" for p in pages)
+        assert all(p["hits"] for p in pages)
+        # The degraded pages only cover the two surviving shards, so at
+        # least one query must diverge from the full-corpus reference.
+        assert [p["hits"] for p in pages] != \
+            [p["hits"] for p in reference_pages]
+
+    def test_degraded_hits_come_from_surviving_shards(self, corpus):
+        sim, net, nodes = build_tier(corpus, 3)
+        nodes[2].handle_request = lambda ctx: None
+        pages = fire(sim, net, "engine", QUERIES)
+        for page in pages:
+            assert all(hit["doc_id"] % 3 != 2 for hit in page["hits"])

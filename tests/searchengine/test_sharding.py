@@ -1,0 +1,153 @@
+"""Sharded TF-IDF: the byte-identity invariant and replica routing.
+
+The whole engine scale-out rests on one promise (see
+:mod:`repro.searchengine.sharding`): the merged sharded top-k is
+byte-identical to the unsharded engine's top-k at any shard count.
+These tests pin that promise in-process, for plain and OR queries,
+including a Hypothesis sweep over random term combinations.
+"""
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.searchengine.corpus import build_corpus
+from repro.searchengine.engine import SearchEngine, SearchHit
+from repro.searchengine.sharding import (
+    ShardedSearchEngine,
+    build_shard_engines,
+    merge_partials,
+    replica_addresses,
+    route_to_replica,
+    shard_documents,
+    shard_of,
+)
+
+QUERIES = [
+    "symptoms cancer treatment",
+    "cheap flights travel hotel",
+    "symptoms cancer OR football league",
+    "vaccine OR mortgage OR laptop",
+    "nosuchterm whatsoever",
+]
+
+#: Terms the Hypothesis sweep draws from — a mix of head terms from
+#: several topics plus one guaranteed non-term.
+TERM_POOL = ["symptoms", "cancer", "treatment", "football", "laptop",
+             "mortgage", "vaccine", "hotel", "recipe", "zzzunknown"]
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus(docs_per_topic=40, seed=7)
+
+
+@pytest.fixture(scope="module")
+def reference(corpus):
+    return SearchEngine(corpus)
+
+
+class TestPartition:
+    def test_every_document_in_exactly_one_shard(self, corpus):
+        shards = shard_documents(corpus, 3)
+        seen = [doc.doc_id for shard in shards for doc in shard]
+        assert sorted(seen) == [doc.doc_id for doc in corpus.documents]
+        for index, shard in enumerate(shards):
+            assert all(shard_of(doc.doc_id, 3) == index for doc in shard)
+
+    def test_single_shard_is_the_whole_corpus(self, corpus):
+        (shard,) = shard_documents(corpus, 1)
+        assert [d.doc_id for d in shard] == \
+            [d.doc_id for d in corpus.documents]
+
+    def test_invalid_shard_count_rejected(self, corpus):
+        with pytest.raises(ValueError):
+            shard_documents(corpus, 0)
+
+    def test_single_shard_engine_matches_reference(self, corpus, reference):
+        # build_shard_engines(N=1) must reproduce the plain constructor
+        # exactly — the global-IDF plumbing is a no-op at one shard.
+        (engine,) = build_shard_engines(corpus, 1)
+        for query in QUERIES:
+            assert engine.search(query) == reference.search(query)
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 5, 8])
+    def test_search_identical_at_any_shard_count(self, corpus, reference,
+                                                 num_shards):
+        sharded = ShardedSearchEngine(corpus, num_shards)
+        for query in QUERIES:
+            assert sharded.search(query) == reference.search(query), \
+                f"divergence at N={num_shards} for {query!r}"
+
+    def test_topk_override_respected(self, corpus, reference):
+        sharded = ShardedSearchEngine(corpus, 3)
+        assert sharded.search(QUERIES[0], topk=4) == \
+            reference.search(QUERIES[0], topk=4)
+
+    def test_search_batch_matches_individual_searches(self, corpus):
+        sharded = ShardedSearchEngine(corpus, 3)
+        batch = sharded.search_batch(QUERIES + QUERIES)
+        assert batch == [sharded.search(q) for q in QUERIES + QUERIES]
+
+    @settings(max_examples=25, deadline=None)
+    @given(terms=st.lists(st.sampled_from(TERM_POOL), min_size=1,
+                          max_size=4),
+           num_shards=st.integers(min_value=2, max_value=7))
+    def test_identity_over_random_term_combinations(self, corpus, reference,
+                                                    terms, num_shards):
+        query = " ".join(terms)
+        sharded = ShardedSearchEngine(corpus, num_shards)
+        assert sharded.search(query) == reference.search(query)
+
+    def test_document_lookup_resolves_through_owning_shard(self, corpus):
+        sharded = ShardedSearchEngine(corpus, 4)
+        doc = corpus.documents[13]
+        assert sharded.document(doc.doc_id) == doc
+
+
+class TestMergePartials:
+    def test_orders_by_score_then_doc_id(self):
+        mk = lambda d, s: SearchHit(doc_id=d, url=f"u{d}", score=s,
+                                    snippet_terms=())
+        merged = merge_partials(
+            [[mk(4, 1.0), mk(9, 0.5)], [mk(2, 1.0), mk(7, 2.0)]], topk=3)
+        assert [(h.doc_id, h.score) for h in merged] == \
+            [(7, 2.0), (2, 1.0), (4, 1.0)]
+
+    def test_truncates_to_topk(self):
+        mk = lambda d, s: SearchHit(doc_id=d, url=f"u{d}", score=s,
+                                    snippet_terms=())
+        merged = merge_partials([[mk(i, float(i)) for i in range(5)]],
+                                topk=2)
+        assert len(merged) == 2
+
+
+class TestReplicaRouting:
+    def test_replica_zero_keeps_the_historical_address(self):
+        assert replica_addresses(1) == ["engine"]
+        assert replica_addresses(3) == ["engine", "engine1", "engine2"]
+
+    def test_invalid_replica_count_rejected(self):
+        with pytest.raises(ValueError):
+            replica_addresses(0)
+
+    def test_routing_is_stable_and_total(self):
+        addresses = replica_addresses(4)
+        for identity in ("node00", "node07", "client-a", "relay3"):
+            first = route_to_replica(identity, addresses)
+            assert first in addresses
+            assert all(route_to_replica(identity, addresses) == first
+                       for _ in range(5))
+
+    def test_routing_spreads_identities(self):
+        addresses = replica_addresses(4)
+        routed = {route_to_replica(f"node{i:02d}", addresses)
+                  for i in range(64)}
+        assert len(routed) > 1
+
+    def test_empty_address_list_rejected(self):
+        with pytest.raises(ValueError):
+            route_to_replica("node00", [])

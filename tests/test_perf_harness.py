@@ -17,7 +17,9 @@ from repro.cli import main as cli_main
 
 #: Small enough that the whole module stays in tier-1 comfortably.
 TINY = dict(history_size=120, probes=10, linear_probes=4,
-            num_events=1500, chains=8, num_nodes=4, searches=2, seed=0,
+            num_events=1500, chains=8, num_nodes=4, searches=2,
+            engine_queries=10, engine_unique=3, engine_docs_per_topic=6,
+            replica_counts=[2], monitor_windows=40, seed=0,
             repeats=1)
 
 
@@ -29,7 +31,8 @@ def tiny_results():
 class TestRunAll:
     def test_sections_and_meta(self, tiny_results):
         assert set(tiny_results) >= {"meta", "sensitivity", "simulator",
-                                     "search", "text_caches"}
+                                     "search", "engine_scaling",
+                                     "monitor", "text_caches"}
         meta = tiny_results["meta"]
         assert meta["schema"] == 1
         assert meta["params"]["history_size"] == 120
@@ -65,6 +68,47 @@ class TestRunAll:
         assert perf.workload_queries(30, seed=5) == \
             perf.workload_queries(30, seed=5)
         assert len(perf.workload_queries(30, seed=5)) == 30
+
+    def test_engine_scaling_section_shape(self, tiny_results):
+        scaling = tiny_results["engine_scaling"]
+        assert scaling["sharded_identical"] is True
+        assert [row["replicas"] for row in scaling["scaled"]] == [2]
+        assert scaling["best_replicas"] == 2
+        assert scaling["baseline_searches_per_sec"] > 0
+        assert scaling["best_searches_per_sec"] > 0
+        assert scaling["speedup"] > 0
+
+
+class TestOnly:
+    def test_only_runs_the_requested_sections(self):
+        results = perf.run_all(only=["simulator"], **TINY)
+        assert "simulator" in results
+        assert "search" not in results
+        assert "engine_scaling" not in results
+        assert "meta" in results and "text_caches" in results
+
+    def test_only_preserves_section_order(self):
+        results = perf.run_all(only=["simulator", "sensitivity"], **TINY)
+        sections = [name for name in results
+                    if name in perf.BENCH_SECTIONS]
+        assert sections == ["sensitivity", "simulator"]
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ValueError, match="no_such_bench"):
+            perf.run_all(only=["no_such_bench"], **TINY)
+
+    def test_format_report_tolerates_partial_results(self):
+        results = perf.run_all(only=["simulator"], **TINY)
+        report = perf.format_report(results)
+        assert "events/sec" in report
+        assert "indexed speedup" not in report
+
+    def test_compare_skips_sections_missing_from_either_side(
+            self, tiny_results):
+        partial = perf.run_all(only=["simulator"], **TINY)
+        rows = perf.compare(tiny_results, partial)
+        assert {row["metric"] for row in rows} == \
+            {"simulator.events_per_sec"}
 
 
 class TestBaselineIO:
@@ -135,24 +179,55 @@ class TestCheckRegression:
         assert refreshed["meta"]["params"] == tiny_results["meta"]["params"]
 
 
+#: CLI flags keeping a full `repro perf` run at toy scale.
+TINY_FLAGS = ["--history", "100", "--probes", "6", "--events", "1000",
+              "--nodes", "4", "--searches", "2", "--monitor-windows", "40",
+              "--engine-queries", "8", "--engine-docs-per-topic", "6"]
+
+
 class TestCli:
     def test_perf_subcommand_writes_report(self, tmp_path, capsys,
                                            monkeypatch):
         out = str(tmp_path / "bench.json")
-        code = cli_main(["perf", "--history", "100", "--probes", "6",
-                         "--events", "1000", "--nodes", "4",
-                         "--searches", "2", "--output", out])
+        code = cli_main(["perf", *TINY_FLAGS, "--output", out])
         captured = capsys.readouterr().out
         assert code == 0
         assert "CYCLOSA pipeline perf" in captured
+        assert "engine tier" in captured
         written = perf.load_baseline(out)
         assert written["meta"]["params"]["history_size"] == 100
 
     def test_perf_no_write(self, tmp_path, capsys):
         out = str(tmp_path / "bench.json")
-        code = cli_main(["perf", "--history", "100", "--probes", "6",
-                         "--events", "1000", "--nodes", "4",
-                         "--searches", "2", "--output", out,
+        code = cli_main(["perf", *TINY_FLAGS, "--output", out,
                          "--no-write"])
         assert code == 0
         assert not (tmp_path / "bench.json").exists()
+
+    def test_perf_only_merges_into_existing_baseline(self, tmp_path,
+                                                     capsys):
+        out = str(tmp_path / "bench.json")
+        assert cli_main(["perf", *TINY_FLAGS, "--output", out]) == 0
+        full = perf.load_baseline(out)
+        assert cli_main(["perf", *TINY_FLAGS, "--output", out,
+                         "--only", "simulator"]) == 0
+        merged = perf.load_baseline(out)
+        # The partial run refreshed its section and kept every other
+        # section from the committed baseline.
+        assert set(merged) == set(full)
+        assert merged["search"] == full["search"]
+
+    def test_perf_only_accepts_comma_separated_sections(self, tmp_path,
+                                                        capsys):
+        out = str(tmp_path / "bench.json")
+        code = cli_main(["perf", *TINY_FLAGS, "--output", out,
+                         "--only", "simulator,monitor", "--no-write"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "events/sec" in captured
+        assert "flight recorder" in captured
+
+    def test_perf_only_unknown_section_exits_2(self, capsys):
+        code = cli_main(["perf", "--only", "nope", "--no-write"])
+        assert code == 2
+        assert "unknown perf sections" in capsys.readouterr().err
