@@ -18,6 +18,12 @@ wiretap captures must match transmission for transmission (kind,
 endpoints, size, timestamp). A cache that changed anything on the wire
 would hand a passive adversary a query-popularity oracle.
 
+Finally it audits the deterministic profiler's output: a small search
+scenario runs under :mod:`repro.experiments.profiling` and every
+frame of the collapsed-stack flamegraph plus the attribution JSON must
+be a pure code location (``module:qualname``) — no query text, node
+address or user identity may survive into a shareable profile.
+
 Exit code 0 on a clean run, 1 on any sighting — wire it into CI next
 to ``check_regression.py``::
 
@@ -91,6 +97,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not cache_report.ok:
         print("cache hits are visible on the wire — the result cache "
               "is leaking query popularity", file=sys.stderr)
+        return 1
+
+    # Profile-output audit: the flamegraph and attribution a developer
+    # would paste into a PR must provably contain only code locations.
+    from repro.experiments import profiling
+
+    profile_report = profiling.run_scenario(
+        "search", seed=args.seed, nodes=min(args.nodes, 8),
+        searches=len(queries), heap=False)
+    profile_violations = obs.audit_profile_output(
+        profile_report["collapsed"], profile_report["cpu"],
+        profile_report["audit_needles"])
+    frames = sum(len(stack) for stack in
+                 obs.parse_collapsed(profile_report["collapsed"]))
+    print()
+    print("profile output audit:",
+          "PASS" if not profile_violations else "FAIL",
+          f"({frames} stack frames scanned, "
+          f"{len(profile_report['audit_needles'])} workload strings "
+          f"checked)")
+    for violation in profile_violations:
+        print(f"  - {violation}")
+    if profile_violations:
+        print("profile output is carrying workload data — flamegraphs "
+              "must contain only code locations", file=sys.stderr)
         return 1
     return 0
 

@@ -1,0 +1,128 @@
+"""Profile-attribution regression gate.
+
+Re-runs the deterministic-profiler bench (the ``profile`` section of
+``repro perf``) with the same workload parameters the committed
+``BENCH_pipeline.json`` baseline recorded, and fails (exit code 1)
+when any subsystem's share of CPU samples drifted more than
+``--tolerance-pct`` percentage points (default 5) from the baseline —
+self% or cum%, in either direction. A subsystem appearing from
+nowhere at 6 % is exactly the silent cost creep this gate catches.
+
+Unlike ``check_regression.py``, the quantity gated here is
+*machine-independent*: the profiler samples call events, not time, so
+the same seed produces the same sample distribution on any host. The
+baseline's ``collapsed_sha256`` should also reproduce bit-for-bit on
+the same Python version; a mismatch is reported as a note (stdlib
+frames legitimately differ across interpreter versions), not a
+failure. Run from the repo root::
+
+    PYTHONPATH=src python -m benchmarks.check_profile
+    PYTHONPATH=src python -m benchmarks.check_profile --tolerance-pct 3
+    PYTHONPATH=src python -m benchmarks.check_profile --update
+
+``--update`` merges a fresh ``profile`` section into the baseline
+(leaving every other section untouched) instead of comparing — use it
+after an intentional hot-path change, and commit the new shares with
+the PR that moved them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro import perf
+from repro.obs.profile import compare_attribution
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    perf.DEFAULT_BASELINE_NAME)
+
+#: bench_profile parameters replayed from the baseline section.
+SECTION_PARAMS = ("nodes", "searches", "sample_interval")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="check_profile",
+        description="compare a fresh deterministic-profiler run against "
+                    "the committed per-subsystem attribution baseline")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help=f"baseline JSON (default {DEFAULT_BASELINE})")
+    parser.add_argument("--tolerance-pct", type=float, default=5.0,
+                        help="allowed absolute drift per subsystem in "
+                             "percentage points (default 5)")
+    parser.add_argument("--update", action="store_true",
+                        help="merge a fresh profile section into the "
+                             "baseline instead of comparing")
+    args = parser.parse_args(argv)
+
+    if not os.path.exists(args.baseline):
+        print(f"no baseline at {args.baseline}; generate one with "
+              f"`python -m repro perf --only profile --profile` "
+              f"(or --update on an existing baseline)", file=sys.stderr)
+        return 2
+    baseline = perf.load_baseline(args.baseline)
+    section = baseline.get("profile")
+
+    if args.update:
+        replay = {f"profile_{name}": section[name]
+                  for name in SECTION_PARAMS} if section else {}
+        baseline["profile"] = perf.bench_profile(
+            seed=baseline.get("meta", {}).get("params", {}).get("seed", 0)
+            or 0, **replay)
+        perf.write_baseline(baseline, args.baseline)
+        print(f"updated the profile section of {args.baseline}")
+        return 0
+
+    if section is None:
+        print(f"{args.baseline} has no 'profile' section; add one with "
+              f"`python -m repro perf --only profile --profile` or "
+              f"`python -m benchmarks.check_profile --update`",
+              file=sys.stderr)
+        return 2
+
+    seed = baseline.get("meta", {}).get("params", {}).get("seed", 0) or 0
+    fresh = perf.bench_profile(
+        seed=seed, **{f"profile_{name}": section[name]
+                      for name in SECTION_PARAMS})
+
+    rows = compare_attribution(section, fresh,
+                               tolerance_pct=args.tolerance_pct)
+    width = max(len(row["subsystem"]) for row in rows)
+    print(f"profile attribution vs baseline "
+          f"({section['scenario']} scenario, {section['nodes']} nodes, "
+          f"{section['searches']} searches, 1 sample / "
+          f"{section['sample_interval']} call events)")
+    print(f"{'subsystem':<{width}}  {'self% base':>10}  {'self%':>7}  "
+          f"{'cum% base':>10}  {'cum%':>7}  verdict")
+    failed = False
+    for row in rows:
+        verdict = "DRIFTED" if row["drifted"] else "ok"
+        failed = failed or row["drifted"]
+        print(f"{row['subsystem']:<{width}}  "
+              f"{row['self_pct_baseline']:>10.2f}  "
+              f"{row['self_pct_fresh']:>7.2f}  "
+              f"{row['cum_pct_baseline']:>10.2f}  "
+              f"{row['cum_pct_fresh']:>7.2f}  {verdict}")
+    print(f"\ntolerance: ±{args.tolerance_pct:.1f} percentage points "
+          f"per subsystem (self% and cum%)")
+
+    if fresh["collapsed_sha256"] != section.get("collapsed_sha256"):
+        print("note: collapsed-stack digest differs from the baseline "
+              "(expected across Python versions; shares above are the "
+              "gated quantity)")
+
+    if failed:
+        print("FAIL: subsystem CPU attribution drifted beyond tolerance "
+              "— either fix the hot path or re-baseline with --update "
+              "and justify the shift in the PR", file=sys.stderr)
+        return 1
+    print("ok: subsystem attribution within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

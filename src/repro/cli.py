@@ -12,7 +12,12 @@ Commands:
   Prometheus metrics snapshot).
 - ``perf``                      — run the pipeline perf benches and
   write the ``BENCH_pipeline.json`` trajectory baseline (see
-  ``docs/performance.md``).
+  ``docs/performance.md``); ``--profile`` adds the deterministic
+  subsystem-attribution section.
+- ``profile <scenario>``        — deterministic sampling profile of a
+  named scenario: per-subsystem CPU/heap attribution, collapsed-stack
+  flamegraph files and a chrome-trace view with the sample track
+  merged in (see docs/observability.md).
 - ``lint [paths...]``           — run the trust-boundary / taint /
   determinism / layering analyzer over ``src/`` (see
   ``docs/static-analysis.md``).
@@ -32,6 +37,9 @@ Examples::
     python -m repro search --trace "flu symptoms treatment"
     python -m repro obs --format prom
     python -m repro perf --output BENCH_pipeline.json
+    python -m repro perf --profile
+    python -m repro profile search
+    python -m repro profile simulator --events 100000 --no-write
     python -m repro lint --baseline
     python -m repro lint --format json src/repro/core
     python -m repro chaos
@@ -248,7 +256,7 @@ def _cmd_perf(args) -> int:
                 for name in entry.split(",") if name]
     try:
         results = perf.run_all(
-            only=only,
+            only=only, profile=args.profile,
             history_size=args.history, probes=args.probes,
             num_events=args.events, num_nodes=args.nodes,
             searches=args.searches, monitor_windows=args.monitor_windows,
@@ -280,6 +288,80 @@ def _cmd_perf(args) -> int:
         print("ERROR: sharded engine results diverged from the "
               "unsharded baseline", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    """Profile a named scenario; print and write the deterministic
+    attribution artifacts."""
+    import os
+
+    from repro import obs
+    from repro.experiments import profiling
+
+    try:
+        report = profiling.run_scenario(
+            args.scenario, seed=args.seed, nodes=args.nodes,
+            searches=args.searches, sample_interval=args.interval,
+            window_seconds=args.window, heap=not args.no_heap,
+            num_events=args.events, monitor_seconds=args.monitor_seconds)
+    except ValueError as error:
+        print(f"ERROR: {error}", file=sys.stderr)
+        return 2
+
+    # The profile must be shareable: refuse to print or write anything
+    # that fails the code-locations-only audit.
+    violations = obs.audit_profile_output(
+        report["collapsed"], report["cpu"], report["audit_needles"])
+    if violations:
+        print("ERROR: profile output failed the privacy audit:",
+              file=sys.stderr)
+        for violation in violations:
+            print(f"  - {violation}", file=sys.stderr)
+        return 1
+
+    cpu = report["cpu"]
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(cpu, sort_keys=True, indent=2))
+    else:
+        print(f"profile scenario {args.scenario!r} "
+              f"(seed {args.seed}, 1 sample / {args.interval} call events)")
+        print(obs.format_attribution(cpu))
+        stacks = obs.parse_collapsed(report["collapsed"])
+        if stacks:
+            print(f"\nhottest stacks (top {args.top}, leaf first):")
+            print(obs.top_stacks(stacks, limit=args.top))
+        final = report["heap"]["final"]
+        if final is not None:
+            print("\nlive heap by subsystem (end of run):")
+            for sub, row in sorted(
+                    final["subsystems"].items(),
+                    key=lambda item: -item[1]["size_bytes"]):
+                print(f"  {sub:<14} {row['size_bytes'] / 1024.0:>10.1f} KiB "
+                      f"in {row['blocks']} blocks")
+
+    if not args.no_write:
+        os.makedirs(args.out, exist_ok=True)
+        base = os.path.join(args.out, f"{args.scenario}-seed{args.seed}")
+        import json as _json
+
+        with open(f"{base}.collapsed", "w", encoding="utf-8") as handle:
+            handle.write(report["collapsed"])
+        with open(f"{base}.cpu.json", "w", encoding="utf-8") as handle:
+            handle.write(_json.dumps(cpu, sort_keys=True, indent=2) + "\n")
+        written = [f"{base}.collapsed", f"{base}.cpu.json"]
+        if report["heap"]["windows"] or report["heap"]["final"]:
+            with open(f"{base}.heap.json", "w", encoding="utf-8") as handle:
+                handle.write(_json.dumps(report["heap"], sort_keys=True,
+                                         indent=2) + "\n")
+            written.append(f"{base}.heap.json")
+        if report["chrome"] is not None:
+            with open(f"{base}.chrome.json", "w", encoding="utf-8") as handle:
+                handle.write(report["chrome"] + "\n")
+            written.append(f"{base}.chrome.json")
+        print("\nwrote " + ", ".join(written))
     return 0
 
 
@@ -369,10 +451,16 @@ def _cmd_monitor(args) -> int:
     """Run the churn+chaos soak under the flight recorder."""
     from repro.experiments import monitor
 
+    profiler = None
+    if args.profile:
+        from repro import obs
+
+        profiler = obs.DeterministicProfiler(sample_interval=256)
     report = monitor.run_scenario(
         num_nodes=args.nodes, seed=args.seed, plan_seed=args.plan_seed,
         duration=args.duration, window_seconds=args.window,
-        query_interval=args.interval, clients=args.clients, k=args.k)
+        query_interval=args.interval, clients=args.clients, k=args.k,
+        profiler=profiler)
     if args.format == "json":
         print(monitor.report_json(report))
     elif args.format == "openmetrics":
@@ -382,6 +470,11 @@ def _cmd_monitor(args) -> int:
         print(obs.openmetrics_timeseries(windows), end="")
     else:
         print(monitor.format_dashboard(report))
+        if profiler is not None:
+            from repro import obs
+
+            print("\nCPU attribution (traffic + drain phase):")
+            print(obs.format_attribution(report["profile"]))
     if report["traffic"]["hung_searches"]:
         print(f"\nBROKEN INVARIANT: "
               f"{report['traffic']['hung_searches']} hung searches",
@@ -486,12 +579,63 @@ def build_parser() -> argparse.ArgumentParser:
         "--only", action="append", default=None, metavar="SECTION",
         help="run only these bench sections (repeatable or "
              "comma-separated; known: sensitivity, simulator, search, "
-             "engine_scaling, monitor). With --output, the measured "
-             "sections are merged into an existing baseline file")
+             "engine_scaling, monitor, profile). With --output, the "
+             "measured sections are merged into an existing baseline "
+             "file")
+    perf_parser.add_argument(
+        "--profile", action="store_true",
+        help="include the deterministic-profiler attribution section "
+             "(excluded from default runs; implies nothing about the "
+             "other sections)")
     perf_parser.add_argument("--output", default="BENCH_pipeline.json",
                              help="baseline path (default ./BENCH_pipeline.json)")
     perf_parser.add_argument("--no-write", action="store_true",
                              help="print the report without writing the file")
+
+    profile_parser = subparsers.add_parser(
+        "profile", help="run a seeded scenario under the deterministic "
+                        "sampling profiler and report per-subsystem "
+                        "CPU/heap attribution (docs/observability.md)")
+    profile_parser.add_argument(
+        "scenario", nargs="?", default="search",
+        choices=("search", "simulator", "sensitivity", "monitor"),
+        help="workload to profile (default: search)")
+    profile_parser.add_argument("--seed", type=int, default=0,
+                                help="workload seed (default 0)")
+    profile_parser.add_argument("--nodes", type=int, default=8,
+                                help="overlay size for search/monitor "
+                                     "scenarios (default 8)")
+    profile_parser.add_argument("--searches", type=int, default=6,
+                                help="protected searches in the search "
+                                     "scenario (default 6)")
+    profile_parser.add_argument("--interval", type=int, default=256,
+                                help="sample every Nth call event "
+                                     "(default 256)")
+    profile_parser.add_argument("--window", type=float, default=5.0,
+                                help="heap-snapshot window in simulated "
+                                     "seconds (default 5)")
+    profile_parser.add_argument("--events", type=int, default=30000,
+                                help="events for the simulator scenario "
+                                     "(default 30000)")
+    profile_parser.add_argument("--monitor-seconds", type=float,
+                                default=60.0,
+                                help="traffic duration for the monitor "
+                                     "scenario (default 60)")
+    profile_parser.add_argument("--no-heap", action="store_true",
+                                help="skip tracemalloc heap snapshots")
+    profile_parser.add_argument("--top", type=int, default=5,
+                                help="hottest stacks to print (default 5)")
+    profile_parser.add_argument(
+        "--json", action="store_true",
+        help="print the CPU attribution JSON (byte-identical for "
+             "identical arguments) instead of the table")
+    profile_parser.add_argument("--out", default="profiles",
+                                help="directory for the collapsed-stack / "
+                                     "attribution / chrome-trace artifacts "
+                                     "(default ./profiles)")
+    profile_parser.add_argument("--no-write", action="store_true",
+                                help="print the report without writing "
+                                     "artifact files")
 
     lint_parser = subparsers.add_parser(
         "lint", help="trust-boundary / taint / determinism / layering "
@@ -574,6 +718,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict", action="store_true",
         help="exit 1 when the SLO verdict is breached (hung searches "
              "always exit 1)")
+    monitor_parser.add_argument(
+        "--profile", action="store_true",
+        help="run the soak under the deterministic profiler and append "
+             "the per-subsystem CPU attribution (dash format only; the "
+             "json report gains a 'profile' section)")
 
     return parser
 
@@ -595,6 +744,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         run_audit=args.audit)
     if args.command == "perf":
         return _cmd_perf(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "lint":
         args.use_baseline = args.baseline is not None
         if args.baseline == "":

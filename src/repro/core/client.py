@@ -328,10 +328,15 @@ class CyclosaNetwork:
         counts are on ``engine_node.tap.dropped``). With replicas, the
         tier-wide view: every replica's tap merged in timestamp order
         (the engine operator runs all replicas, so the adversary sees
-        the union)."""
+        the union). Same-timestamp observations — common under the
+        discrete-event clock, where several replicas serve in the same
+        instant — tie-break on ``(replica index, arrival rank)``, so
+        the merged order is a pure function of the deployment seed and
+        never of Python's sort internals."""
         if len(self.engine_nodes) <= 1:
             return self.engine_node.tap.entries
-        merged = [entry for replica in self.engine_nodes
+        merged = [(entry.timestamp, replica_index, entry.seq, entry)
+                  for replica_index, replica in enumerate(self.engine_nodes)
                   for entry in replica.tap.entries]
-        merged.sort(key=lambda entry: entry.timestamp)
-        return merged
+        merged.sort(key=lambda item: item[:3])
+        return [entry for _, _, _, entry in merged]

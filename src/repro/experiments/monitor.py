@@ -80,8 +80,19 @@ def run_scenario(num_nodes: int = 12, seed: int = 11, plan_seed: int = 3,
                  drop_probability: float = 0.05, churn_victims: int = 2,
                  churn_start: float = 70.0, churn_duration: float = 30.0,
                  drain_seconds: float = 120.0,
-                 spec: Optional[obs.SloSpec] = None) -> Dict[str, Any]:
-    """Run the churn+chaos soak and return the full windowed report."""
+                 spec: Optional[obs.SloSpec] = None,
+                 profiler: Optional[obs.DeterministicProfiler] = None
+                 ) -> Dict[str, Any]:
+    """Run the churn+chaos soak and return the full windowed report.
+
+    When a :class:`~repro.obs.DeterministicProfiler` is passed
+    (``repro monitor --profile``), it is armed around the traffic +
+    drain phase and the report gains a ``profile`` section with the
+    per-subsystem attribution; the caller keeps the profiler, so it
+    can also export collapsed stacks. Without one, the report is
+    byte-identical to previous releases (the ``check_slo.py``
+    contract).
+    """
     if clients < 1 or clients > num_nodes:
         raise ValueError("need 1 <= clients <= num_nodes")
     if churn_victims > num_nodes - clients:
@@ -128,7 +139,13 @@ def run_scenario(num_nodes: int = 12, seed: int = 11, plan_seed: int = 3,
         when += query_interval
         index += 1
 
-    simulator.run(until=start + duration + drain_seconds)
+    if profiler is not None:
+        profiler.start()
+    try:
+        simulator.run(until=start + duration + drain_seconds)
+    finally:
+        if profiler is not None:
+            profiler.stop()
     recorder.stop()
     installed.uninstall()
     hung = sum(node.outstanding_count() for node in deployment.nodes)
@@ -141,7 +158,7 @@ def run_scenario(num_nodes: int = 12, seed: int = 11, plan_seed: int = 3,
         statuses[result["status"]] = statuses.get(result["status"], 0) + 1
 
     window_width = recorder.window_seconds
-    return {
+    report = {
         "scenario": {
             "nodes": num_nodes,
             "clients": clients,
@@ -175,6 +192,9 @@ def run_scenario(num_nodes: int = 12, seed: int = 11, plan_seed: int = 3,
         "windows_evicted": recorder.evicted,
         "slo": slo_report.to_dict(),
     }
+    if profiler is not None:
+        report["profile"] = profiler.attribution()
+    return report
 
 
 def report_json(report: Dict[str, Any]) -> str:

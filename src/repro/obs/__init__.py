@@ -37,10 +37,11 @@ from contextlib import contextmanager as _contextmanager
 from typing import Optional
 
 from repro.obs import (audit, breakdown, clock, criticalpath, distributed,
-                       export, metrics, sinks, slo, timeseries, trace)
+                       export, metrics, profile, sinks, slo, timeseries,
+                       trace)
 from repro.obs.audit import (AuditReport, AuditViolation,
                              audit_cache_indistinguishability,
-                             run_telemetry_audit)
+                             audit_profile_output, run_telemetry_audit)
 from repro.obs.breakdown import (PIPELINE_STAGES, format_breakdown,
                                  root_span, split_engine_service,
                                  stage_breakdown)
@@ -57,6 +58,11 @@ from repro.obs.export import (chrome_trace, openmetrics_snapshot,
                               parse_trace_jsonl, prometheus_snapshot,
                               sample_key, trace_to_jsonl)
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry)
+from repro.obs.profile import (DeterministicProfiler, HeapSampler,
+                               chrome_trace_with_samples,
+                               compare_attribution, format_attribution,
+                               parse_collapsed, subsystem_of_module,
+                               subsystem_of_path, top_stacks)
 from repro.obs.sinks import FORBIDDEN_ATTRIBUTE_KEYS, PATH_SCOPED_SPANS
 from repro.obs.slo import (BoundedGaugeSlo, BurnRatePolicy, LatencyQuantileSlo,
                            RuleReport, SloReport, SloRule, SloSpec,
@@ -195,6 +201,7 @@ __all__ = [
     "distributed",
     "export",
     "metrics",
+    "profile",
     "sinks",
     "slo",
     "timeseries",
@@ -225,6 +232,16 @@ __all__ = [
     "sample_key",
     "parse_sample_name",
     "chrome_trace",
+    # deterministic profiling
+    "DeterministicProfiler",
+    "HeapSampler",
+    "chrome_trace_with_samples",
+    "compare_attribution",
+    "format_attribution",
+    "parse_collapsed",
+    "subsystem_of_module",
+    "subsystem_of_path",
+    "top_stacks",
     # time-series & SLOs
     "TimeSeriesRecorder",
     "Window",
@@ -261,6 +278,7 @@ __all__ = [
     "AuditViolation",
     "run_telemetry_audit",
     "audit_cache_indistinguishability",
+    "audit_profile_output",
     "FORBIDDEN_ATTRIBUTE_KEYS",
     "PATH_SCOPED_SPANS",
 ]

@@ -32,8 +32,17 @@ hand the adversary anything the protocol hides:
    ranking CPU; anything it changed on the wire would tell the
    adversary which queries were asked before.
 
+5. **Profile output hygiene** (:func:`audit_profile_output`) — the
+   deterministic profiler's collapsed stacks and attribution JSON must
+   contain *code locations only*: every frame matches the
+   ``module:qualname`` shape, every attribution bucket is a known
+   subsystem name, and no output line contains query text or a
+   per-user identifier. Profiles are meant to be committed and diffed
+   in CI — they must be shareable without leaking what anyone
+   searched.
+
 :func:`run_telemetry_audit` drives the first three against a live
-deployment; ``benchmarks/check_obs_leak.py`` wires all four into CI.
+deployment; ``benchmarks/check_obs_leak.py`` wires all five into CI.
 """
 
 from __future__ import annotations
@@ -54,7 +63,8 @@ from repro.obs.sinks import FORBIDDEN_ATTRIBUTE_KEYS, PATH_SCOPED_SPANS
 class AuditViolation:
     """One observed leak."""
 
-    check: str      # "wire" | "span-attr" | "path-shape"
+    check: str      # "wire" | "span-attr" | "path-shape" | "cache-wire"
+                    # | "profile-output"
     detail: str
 
     def __str__(self) -> str:
@@ -279,6 +289,75 @@ def audit_cache_indistinguishability(make_deployment,
             "cache-wire",
             f"... and {mismatches - mismatch_limit} further mismatches"))
     return report
+
+
+# -- 5. profile output hygiene -------------------------------------------
+
+
+def audit_profile_output(collapsed: str, attribution: dict,
+                         queries: Sequence[str],
+                         identities: Sequence[str] = (),
+                         scanned: Optional[List[int]] = None
+                         ) -> List[AuditViolation]:
+    """Prove a profile contains only code locations.
+
+    *collapsed* is the collapsed-stack text
+    (:meth:`~repro.obs.profile.DeterministicProfiler.collapsed_stacks`)
+    and *attribution* the matching
+    :meth:`~repro.obs.profile.DeterministicProfiler.attribution` dict.
+    Three properties are checked:
+
+    - every frame of every stack line matches the strict
+      ``module:qualname`` code-location shape (argument values, query
+      strings or f-string'd identifiers cannot survive this filter);
+    - no output line contains any of *queries* or *identities* as a
+      substring (defence in depth on top of the shape check);
+    - every attribution bucket is a known subsystem name.
+    """
+    from repro.obs.profile import (CODE_LOCATION_RE, KNOWN_SUBSYSTEMS,
+                                   OVERFLOW_FRAME)
+
+    needles = [text for text in (*queries, *identities) if text]
+    violations: List[AuditViolation] = []
+    count = 0
+    for line_no, line in enumerate(collapsed.splitlines(), start=1):
+        if not line:
+            continue
+        count += 1
+        stack_text, _, count_text = line.rpartition(" ")
+        if not stack_text or not count_text.isdigit():
+            violations.append(AuditViolation(
+                "profile-output",
+                f"line {line_no} is not `stack count`: {line!r}"))
+            continue
+        for frame in stack_text.split(";"):
+            if frame != OVERFLOW_FRAME and not CODE_LOCATION_RE.match(frame):
+                violations.append(AuditViolation(
+                    "profile-output",
+                    f"line {line_no} frame is not a code location: "
+                    f"{frame!r}"))
+        for needle in needles:
+            if needle in line:
+                violations.append(AuditViolation(
+                    "profile-output",
+                    f"line {line_no} contains sensitive text "
+                    f"{needle!r}"))
+    allowed = KNOWN_SUBSYSTEMS | {"other", "stdlib"}
+    for bucket in attribution.get("subsystems", {}):
+        if bucket not in allowed:
+            violations.append(AuditViolation(
+                "profile-output",
+                f"attribution bucket {bucket!r} is not a known "
+                f"subsystem"))
+    attribution_text = str(sorted(attribution.get("subsystems", {})))
+    for needle in needles:
+        if needle in attribution_text:
+            violations.append(AuditViolation(
+                "profile-output",
+                f"attribution contains sensitive text {needle!r}"))
+    if scanned is not None:
+        scanned.append(count)
+    return violations
 
 
 # -- the full dynamic audit ----------------------------------------------

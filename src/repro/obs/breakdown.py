@@ -96,8 +96,13 @@ def split_engine_service(rows: List[StageTiming], spans: Iterable[Span],
 
     *spans* must include the remote spans (``sink.spans`` +
     ``router.all_spans()``, or an assembled trace's spans). Rows are
-    returned unchanged when either row or the serve span is missing —
-    e.g. an untraced run, or a timeout where no service happened.
+    returned unchanged when either row is missing or the real leg
+    cannot be identified (an untraced run). When the leg is known but
+    carries **no** ``engine.serve`` span — a timeout, an engine crash,
+    or a replica running unobserved — the split degrades to path-only:
+    the ``path`` row keeps the full round trip, the ``engine`` row
+    drops to zero with ``status="no-serve-span"``, so the two rows
+    never alias the same interval even when service time is unknown.
     """
     by_name = {row.stage: row for row in rows}
     engine_row, path_row = by_name.get("engine"), by_name.get("path")
@@ -122,7 +127,15 @@ def split_engine_service(rows: List[StageTiming], spans: Iterable[Span],
                 and span.attributes.get("path") == leg):
             service = span.duration
             break
-    if service is None or service > engine_row.duration:
+    if service is None:
+        # The round trip happened but the engine never reported serving
+        # it: all we can honestly attribute is the path. Zeroing the
+        # engine row (instead of leaving both rows at the round trip)
+        # keeps duration sums correct for the degraded trace.
+        engine_row.duration = 0.0
+        engine_row.attributes["status"] = "no-serve-span"
+        return rows
+    if service > engine_row.duration:
         return rows
     path_row.duration = engine_row.duration - service
     engine_row.duration = service

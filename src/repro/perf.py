@@ -63,6 +63,9 @@ DEFAULT_PARAMS: Dict[str, Any] = {
     # Stored as a list so the JSON baseline round-trips bit-identically.
     "replica_counts": [2, 4],
     "monitor_windows": 400,
+    "profile_nodes": 8,
+    "profile_searches": 6,
+    "profile_sample_interval": 256,
     "seed": 0,
     # Best-of-N for the short micro passes: the cold/warm/indexed
     # windows are milliseconds long, so a single sample is dominated
@@ -496,6 +499,49 @@ def bench_monitor(monitor_windows: int = 400, repeats: int = 5,
     }
 
 
+# -- 6. deterministic profile attribution --------------------------------
+
+
+def bench_profile(profile_nodes: int = 8, profile_searches: int = 6,
+                  profile_sample_interval: int = 256, seed: int = 0,
+                  **_ignored: Any) -> Dict[str, Any]:
+    """Per-subsystem CPU attribution of the end-to-end search scenario.
+
+    Unlike every other section, nothing here is a wall-clock number:
+    samples are taken on interpreter call-event counts
+    (:mod:`repro.obs.profile`), so the subsystem shares — and the
+    collapsed-stack digest — are byte-identical across runs *and
+    machines* for one python version. That is what lets
+    ``benchmarks/check_profile.py`` diff shares against the committed
+    baseline with a tight tolerance, where the throughput gate must
+    absorb hardware noise.
+
+    Excluded from the default ``repro perf`` run (it measures shares,
+    not speed); enabled by ``--profile`` or ``--only profile``.
+    """
+    import hashlib
+
+    from repro.experiments.profiling import run_scenario
+
+    report = run_scenario("search", seed=seed, nodes=profile_nodes,
+                          searches=profile_searches,
+                          sample_interval=profile_sample_interval,
+                          heap=False)
+    cpu = report["cpu"]
+    digest = hashlib.sha256(report["collapsed"].encode("utf-8")).hexdigest()
+    return {
+        "scenario": "search",
+        "nodes": profile_nodes,
+        "searches": profile_searches,
+        "sample_interval": profile_sample_interval,
+        "samples": cpu["samples"],
+        "call_events": cpu["call_events"],
+        "distinct_stacks": cpu["distinct_stacks"],
+        "collapsed_sha256": digest,
+        "subsystems": cpu["subsystems"],
+    }
+
+
 # -- assembly ------------------------------------------------------------
 
 
@@ -507,13 +553,19 @@ BENCH_SECTIONS = {
     "search": bench_search,
     "engine_scaling": bench_engine_scaling,
     "monitor": bench_monitor,
+    "profile": bench_profile,
 }
 
 
-def run_all(only: Optional[List[str]] = None,
+def run_all(only: Optional[List[str]] = None, profile: bool = False,
             **overrides: Any) -> Dict[str, Any]:
     """Run every bench (or just the *only* sections); *overrides* patch
-    :data:`DEFAULT_PARAMS`. Unknown section names raise ``ValueError``.
+    :data:`DEFAULT_PARAMS`. Unknown section names raise ``ValueError``,
+    and so does an empty *only* list — running zero sections would
+    produce a baseline holding nothing but metadata.
+
+    The ``profile`` section only runs when asked for — ``profile=True``
+    (the ``--profile`` flag) or an explicit ``--only profile``.
     """
     params = dict(DEFAULT_PARAMS)
     unknown = set(overrides) - set(params)
@@ -527,8 +579,14 @@ def run_all(only: Optional[List[str]] = None,
             raise ValueError(
                 f"unknown perf sections: {', '.join(bad)} "
                 f"(known: {', '.join(BENCH_SECTIONS)})")
+        if not only:
+            raise ValueError(
+                "no perf sections selected "
+                f"(known: {', '.join(BENCH_SECTIONS)})")
         wanted = set(only)
         sections = [name for name in sections if name in wanted]
+    elif not profile:
+        sections = [name for name in sections if name != "profile"]
     from repro.text.cache import cache_stats
 
     results: Dict[str, Any] = {
@@ -644,6 +702,25 @@ def format_report(results: Dict[str, Any]) -> str:
             f"  disabled-guard events/sec : "
             f"{mon['disabled_events_per_sec']:>12.0f}",
         ]
+    prof = results.get("profile")
+    if prof is not None:
+        lines += [
+            "",
+            f"profile ({prof['scenario']} scenario, {prof['nodes']} nodes, "
+            f"{prof['searches']} searches, 1 sample / "
+            f"{prof['sample_interval']} call events)",
+            f"  samples                   : {prof['samples']:>12d}",
+            f"  call events               : {prof['call_events']:>12d}",
+            f"  distinct stacks           : {prof['distinct_stacks']:>12d}",
+            f"  collapsed sha256          : "
+            f"{prof['collapsed_sha256'][:16]}...",
+        ]
+        shares = sorted(prof["subsystems"].items(),
+                        key=lambda item: (-item[1]["self_pct"], item[0]))
+        for subsystem, share in shares:
+            lines.append(
+                f"    {subsystem:<14} self {share['self_pct']:>6.2f}%  "
+                f"cum {share['cum_pct']:>6.2f}%")
     return "\n".join(lines)
 
 

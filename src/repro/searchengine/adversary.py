@@ -33,6 +33,11 @@ class LoggedQuery:
     true_user: Optional[str] = None
     is_fake: bool = False
     group_id: Optional[int] = None
+    #: Arrival rank at this tap (0, 1, 2, ...). Within one tap the
+    #: deque is already arrival-ordered; the explicit rank exists so a
+    #: *merge* across replica taps can break same-timestamp ties
+    #: deterministically (see ``CyclosaNetwork.engine_log``).
+    seq: int = 0
 
 
 class QueryLogTap:
@@ -53,6 +58,7 @@ class QueryLogTap:
         self._log: Deque[LoggedQuery] = deque(maxlen=capacity)
         #: Observations evicted from the ring so far.
         self.dropped = 0
+        self._seq = 0
 
     def record(self, identity: str, text: str, timestamp: float,
                true_user: Optional[str] = None, is_fake: bool = False,
@@ -66,7 +72,9 @@ class QueryLogTap:
                 ).inc()
         self._log.append(LoggedQuery(
             identity=identity, text=text, timestamp=timestamp,
-            true_user=true_user, is_fake=is_fake, group_id=group_id))
+            true_user=true_user, is_fake=is_fake, group_id=group_id,
+            seq=self._seq))
+        self._seq += 1
 
     @property
     def entries(self) -> List[LoggedQuery]:

@@ -87,3 +87,21 @@ class TestEndToEnd:
         served = [node for node in deployment.engine_nodes
                   if node.tap.entries]
         assert len(served) >= 2
+
+    def test_merged_log_breaks_same_timestamp_ties_deterministically(self):
+        # Several replicas serving in the same simulated instant is the
+        # norm under the discrete-event clock. The merge key is
+        # (timestamp, replica index, arrival rank) — inject colliding
+        # timestamps directly into the taps and pin the merged order.
+        deployment = deploy(3)
+        replicas = deployment.engine_nodes
+        replicas[2].tap.record("id-c", "query c", timestamp=5.0)
+        replicas[0].tap.record("id-a1", "query a1", timestamp=5.0)
+        replicas[0].tap.record("id-a2", "query a2", timestamp=5.0)
+        replicas[1].tap.record("id-b", "query b", timestamp=5.0)
+        merged = [entry.identity for entry in deployment.engine_log
+                  if entry.timestamp == 5.0]
+        assert merged == ["id-a1", "id-a2", "id-b", "id-c"]
+        # And the full merge is stable across repeated reads.
+        assert [e.identity for e in deployment.engine_log] \
+            == [e.identity for e in deployment.engine_log]

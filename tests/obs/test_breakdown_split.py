@@ -53,11 +53,18 @@ class TestUnitSplit:
         assert by_name["engine"].duration == pytest.approx(0.3)
         assert by_name["path"].duration == pytest.approx(0.7)
 
-    def test_unchanged_without_a_serve_span(self):
+    def test_degrades_to_path_only_without_a_serve_span(self):
+        # The leg is identifiable but the engine never reported serving
+        # it (timeout / crash / unobserved replica): the path keeps the
+        # round trip and the engine row zeroes out with a status note —
+        # the rows must not silently alias the same interval.
         spans = [FakeSpan("path", 1.0,
                           attributes={"relay": "node03", "path": 2})]
         rows = split_engine_service(make_rows(), spans, trace_id="t1")
-        assert all(row.duration == 1.0 for row in rows)
+        by_name = {row.stage: row for row in rows}
+        assert by_name["path"].duration == pytest.approx(1.0)
+        assert by_name["engine"].duration == 0.0
+        assert by_name["engine"].attributes["status"] == "no-serve-span"
 
     def test_unchanged_without_a_matching_leg(self):
         spans = [

@@ -142,6 +142,53 @@ def test_overflow_quantile_clamps_to_last_finite_bound():
     assert _quantile_from_buckets(buckets, 0.99) == 1.0
 
 
+def test_quantile_of_empty_window_is_zero_at_every_q():
+    # An idle window records the bucket schema with all-zero deltas —
+    # the estimator must return 0.0 (not NaN, not a division error)
+    # at every quantile, including the extremes.
+    empty = ((0.5, 0.0), (1.0, 0.0), (2.0, 0.0), (math.inf, 0.0))
+    for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+        assert _quantile_from_buckets(empty, q) == 0.0
+        assert _quantile_from_buckets((), q) == 0.0
+
+
+def test_quantile_single_bucket_interpolates_from_zero():
+    # A one-finite-bound histogram: every event landed in (0, 2.0],
+    # so quantiles interpolate linearly between 0 and the bound —
+    # there is no previous bucket edge to anchor on.
+    buckets = ((2.0, 8.0), (math.inf, 8.0))
+    assert _quantile_from_buckets(buckets, 0.5) == pytest.approx(1.0)
+    assert _quantile_from_buckets(buckets, 0.25) == pytest.approx(0.5)
+    assert _quantile_from_buckets(buckets, 1.0) == pytest.approx(2.0)
+    # q=0 targets cumulative count 0: the interpolation degenerates to
+    # the bucket's lower edge.
+    assert _quantile_from_buckets(buckets, 0.0) == pytest.approx(0.0)
+
+
+def test_quantile_single_bucket_all_overflow():
+    # Only the +inf bucket saw events: nothing finite to interpolate
+    # inside, so every quantile clamps to the last finite bound.
+    buckets = ((2.0, 0.0), (math.inf, 3.0))
+    for q in (0.1, 0.5, 0.99):
+        assert _quantile_from_buckets(buckets, q) == 2.0
+
+
+def test_empty_window_histogram_quantiles_via_recorder():
+    # End-to-end: a histogram family registered but silent during a
+    # window must still serialise with zero quantiles for that window.
+    simulator, registry, recorder = _recorder()
+    recorder.start()
+    hist = registry.histogram("cyclosa_lat_seconds", "lat",
+                              buckets=(1.0, 2.0))
+    simulator.schedule_at(1.0, lambda: hist.observe(0.5))
+    # Window 1 (10-20s) sees no observations at all.
+    simulator.run(until=25.0)
+    recorder.stop()
+    idle = recorder.windows[1].histograms["cyclosa_lat_seconds"]
+    assert idle.count == 0
+    assert all(value == 0.0 for value in idle.quantiles.values())
+
+
 def test_events_under_interpolates_cumulative_curve():
     hist = WindowHistogram(
         count=20.0, sum=0.0,

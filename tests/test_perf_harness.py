@@ -97,6 +97,37 @@ class TestOnly:
         with pytest.raises(ValueError, match="no_such_bench"):
             perf.run_all(only=["no_such_bench"], **TINY)
 
+    def test_empty_only_rejected(self):
+        # `--only ,` parses to an empty list: silently measuring
+        # nothing (and merging nothing into the baseline) would look
+        # like success, so it must be an explicit error.
+        with pytest.raises(ValueError, match="no perf sections"):
+            perf.run_all(only=[], **TINY)
+
+    def test_profile_section_excluded_by_default(self):
+        results = perf.run_all(only=["simulator"], **TINY)
+        assert "profile" not in results
+        assert "profile" in perf.BENCH_SECTIONS
+
+    def test_profile_section_runs_when_requested(self):
+        results = perf.run_all(
+            only=["profile"], profile=True,
+            profile_nodes=6, profile_searches=2, **TINY)
+        section = results["profile"]
+        assert section["samples"] > 0
+        assert section["scenario"] == "search"
+        assert len(section["collapsed_sha256"]) == 64
+        shares = section["subsystems"]
+        assert sum(row["self"] for row in shares.values()) \
+            == section["samples"]
+
+    def test_profile_section_is_deterministic(self):
+        kwargs = dict(only=["profile"], profile=True,
+                      profile_nodes=6, profile_searches=2, **TINY)
+        first = perf.run_all(**kwargs)["profile"]
+        second = perf.run_all(**kwargs)["profile"]
+        assert first == second
+
     def test_format_report_tolerates_partial_results(self):
         results = perf.run_all(only=["simulator"], **TINY)
         report = perf.format_report(results)
@@ -230,4 +261,28 @@ class TestCli:
     def test_perf_only_unknown_section_exits_2(self, capsys):
         code = cli_main(["perf", "--only", "nope", "--no-write"])
         assert code == 2
-        assert "unknown perf sections" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "unknown perf sections" in err
+        # The error names the valid sections so the fix is one
+        # copy-paste away.
+        for section in perf.BENCH_SECTIONS:
+            assert section in err
+
+    def test_perf_only_empty_exits_2(self, capsys):
+        # A stray comma (`--only ,`) must not silently run nothing.
+        code = cli_main(["perf", "--only", ",", "--no-write"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "no perf sections selected" in err
+        for section in perf.BENCH_SECTIONS:
+            assert section in err
+
+    def test_perf_profile_section_via_cli(self, tmp_path, capsys):
+        out = str(tmp_path / "bench.json")
+        code = cli_main(["perf", *TINY_FLAGS, "--output", out,
+                         "--only", "profile", "--profile"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "profile (search scenario" in captured
+        written = perf.load_baseline(out)
+        assert written["profile"]["samples"] > 0
