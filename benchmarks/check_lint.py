@@ -1,9 +1,10 @@
 """Static-analysis gate: the trust-boundary linter must stay clean.
 
 Runs :mod:`repro.lint` — taint, enclave-boundary, determinism and
-layering checkers — over ``src/repro`` and fails on any finding that
-is not recorded (with a reviewed justification) in the repo-root
-``lint-baseline.txt``.
+layering checkers plus the whole-program PDG pass
+(``taint-interprocedural`` / ``taint-field-flow``) — over
+``src/repro`` and fails on any finding that is not recorded (with a
+reviewed justification) in the repo-root ``lint-baseline.txt``.
 
 This is the static sibling of ``check_obs_leak.py``: that gate proves
 at *runtime* that telemetry carries no protocol secrets; this one
@@ -39,13 +40,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "next to this repo's benchmarks/)")
     parser.add_argument("--no-baseline", action="store_true",
                         help="ignore the baseline; fail on every finding")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for per-file analysis "
+                             "(findings are identical for any N)")
     args = parser.parse_args(argv)
 
     from repro.lint import (default_root, format_text, load_baseline,
                             run_lint)
 
     root = Path(args.root).resolve() if args.root else default_root()
-    findings = run_lint(root=root)
+    findings = run_lint(root=root, jobs=args.jobs)
 
     grandfathered = []
     if not args.no_baseline:

@@ -19,8 +19,9 @@ Commands:
   flamegraph files and a chrome-trace view with the sample track
   merged in (see docs/observability.md).
 - ``lint [paths...]``           — run the trust-boundary / taint /
-  determinism / layering analyzer over ``src/`` (see
-  ``docs/static-analysis.md``).
+  determinism / layering analyzer over ``src/``, incl. the
+  whole-program PDG taint pass (``--jobs N`` parallelises per-file
+  analysis; see ``docs/static-analysis.md``).
 - ``chaos``                     — run the seeded fault-matrix sweep
   over the protected-search pipeline and report success rate /
   retries / latency per cell (see ``docs/robustness.md``).
@@ -375,7 +376,7 @@ def _cmd_lint(args) -> int:
 
     root = Path(args.root).resolve() if args.root else default_root()
     paths = [Path(p) for p in args.paths] or None
-    findings = run_lint(root=root, paths=paths)
+    findings = run_lint(root=root, paths=paths, jobs=args.jobs)
 
     if args.write_baseline:
         target = Path(args.baseline or DEFAULT_BASELINE_NAME)
@@ -428,7 +429,7 @@ def _cmd_chaos(args) -> int:
     cells = chaos.matrix_cells(args.cells or None,
                                plan_seed=args.plan_seed)
     report = chaos.run_matrix(cells, num_nodes=args.nodes,
-                              queries=args.queries, seed=args.seed,
+                              num_queries=args.queries, seed=args.seed,
                               k=args.k)
     if args.json:
         print(chaos.report_json(report))
@@ -656,6 +657,10 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument(
         "--root", default=None,
         help="source root to lint instead of the installed src/ tree")
+    lint_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan per-file analysis out over N worker processes "
+             "(findings are byte-identical for any N)")
 
     chaos_parser = subparsers.add_parser(
         "chaos", help="run the seeded fault-matrix sweep over the "

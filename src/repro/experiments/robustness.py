@@ -111,7 +111,7 @@ def run_fault_matrix(num_nodes: int = 12, queries_per_cell: int = 6,
 
     report = chaos.run_matrix(
         chaos.matrix_cells(cells), num_nodes=num_nodes,
-        queries=queries_per_cell, seed=seed)
+        num_queries=queries_per_cell, seed=seed)
     return report["cells"]
 
 

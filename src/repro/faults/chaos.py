@@ -147,7 +147,8 @@ def _percentile(values: List[float], fraction: float) -> float:
     return ordered[index]
 
 
-def run_cell(cell: ChaosCell, num_nodes: int = 10, queries: int = 6,
+def run_cell(cell: ChaosCell, num_nodes: int = 10,
+             num_queries: int = 6,
              seed: int = 7, k: int = 2,
              config: Optional[CyclosaConfig] = None,
              max_wait: float = 240.0) -> Dict[str, Any]:
@@ -166,7 +167,7 @@ def run_cell(cell: ChaosCell, num_nodes: int = 10, queries: int = 6,
 
     statuses: Dict[str, int] = {}
     latencies: List[float] = []
-    for index in range(queries):
+    for index in range(num_queries):
         result = user.search(f"chaos probe {index}", k_override=k,
                              max_wait=max_wait)
         statuses[result.status] = statuses.get(result.status, 0) + 1
@@ -179,8 +180,8 @@ def run_cell(cell: ChaosCell, num_nodes: int = 10, queries: int = 6,
     return {
         "cell": cell.name,
         "description": cell.description,
-        "queries": queries,
-        "success_rate": round(successes / queries, 4),
+        "queries": num_queries,
+        "success_rate": round(successes / num_queries, 4),
         "statuses": dict(sorted(statuses.items())),
         "retries": client.stats.retries,
         "blacklisted": client.stats.blacklisted_peers,
@@ -197,17 +198,19 @@ def run_cell(cell: ChaosCell, num_nodes: int = 10, queries: int = 6,
 
 
 def run_matrix(cells: Optional[Sequence[ChaosCell]] = None,
-               num_nodes: int = 10, queries: int = 6, seed: int = 7,
+               num_nodes: int = 10, num_queries: int = 6,
+               seed: int = 7,
                k: int = 2, config: Optional[CyclosaConfig] = None,
                max_wait: float = 240.0) -> Dict[str, Any]:
     """Run every cell on its own fresh deployment (same seed)."""
     cells = list(cells) if cells is not None else default_matrix()
-    rows = [run_cell(cell, num_nodes=num_nodes, queries=queries,
+    rows = [run_cell(cell, num_nodes=num_nodes,
+                     num_queries=num_queries,
                      seed=seed, k=k, config=config, max_wait=max_wait)
             for cell in cells]
     return {
         "nodes": num_nodes,
-        "queries_per_cell": queries,
+        "queries_per_cell": num_queries,
         "seed": seed,
         "k": k,
         "cells": rows,

@@ -26,6 +26,15 @@ dependencies beyond the standard library:
   never import ``cli``/``experiments``/``baselines``/``perf``; the
   observability subsystem is only reachable through its facade).
 
+On top of the per-module checkers, a *whole-program* pass builds a
+program-dependence graph per file (:mod:`repro.lint.pdg`), links the
+modules through the import table (:mod:`repro.lint.linking`) and
+walks taint across function, method and module boundaries
+(:mod:`repro.lint.paths`) — rules ``taint-interprocedural`` and
+``taint-field-flow``, each carrying a full source→sink witness path.
+Per-file analysis fans out over a process pool (``repro lint
+--jobs N``); findings are byte-identical for any ``N``.
+
 Run it with ``python -m repro lint`` (see ``docs/static-analysis.md``)
 or via the CI gate ``benchmarks/check_lint.py``. Grandfathered
 findings live in the reviewed baseline file ``lint-baseline.txt``;

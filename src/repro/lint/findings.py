@@ -9,8 +9,9 @@ never line numbers or volatile values.
 
 from __future__ import annotations
 
+import hashlib
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, List, Tuple
 
 #: rule id -> (one-line description, fix hint). The catalogue is the
@@ -36,6 +37,18 @@ RULES = {
     "taint-telemetry": (
         "query text flows into a span or metric attribute",
         "attach repro.obs.query_hash_bucket(text), never the text"),
+    # -- interprocedural taint (repro.lint.pdg / linking / paths) ----
+    "taint-interprocedural": (
+        "query text reaches an adversary-visible sink across function "
+        "or module boundaries",
+        "follow the witness path; declassify with "
+        "repro.obs.query_hash_bucket before the first hop, or seal "
+        "inside the enclave (docs/static-analysis.md#pdg)"),
+    "taint-field-flow": (
+        "query text reaches an adversary-visible sink through an "
+        "object field",
+        "don't park plaintext on long-lived fields; hash or seal it "
+        "at the write (docs/static-analysis.md#pdg)"),
     "span-forbidden-key": (
         "span/metric attribute uses a key the telemetry audit forbids",
         "pick a key outside repro.obs.sinks.FORBIDDEN_ATTRIBUTE_KEYS "
@@ -88,24 +101,43 @@ RULES = {
 
 @dataclass(frozen=True, order=True)
 class Finding:
-    """One static-analysis finding, anchored to ``path:line``."""
+    """One static-analysis finding, anchored to ``path:line``.
+
+    Interprocedural findings additionally carry a *witness*: the
+    source→sink path as ``(file, line, symbol)`` hops, rendered in
+    the text report and the JSON payload. The witness never enters
+    the fingerprint — line numbers shift under unrelated edits.
+    """
 
     path: str        # posix path relative to the analysis root
     line: int
     rule: str
     message: str
     hint: str = ""
+    witness: Tuple[Tuple[str, int, str], ...] = field(default=())
 
     @property
     def fingerprint(self) -> Tuple[str, str, str]:
         """Baseline identity: stable across unrelated line shifts."""
         return (self.rule, self.path, self.message)
 
+    @property
+    def stable_id(self) -> str:
+        """A short line-free digest of the fingerprint, for machine
+        consumers that want the baseline contract in one token."""
+        joined = "\x00".join(self.fingerprint).encode("utf-8")
+        return hashlib.sha256(joined).hexdigest()[:16]
+
     def format(self) -> str:
         text = f"{self.path}:{self.line}: [{self.rule}] {self.message}"
         hint = self.hint or RULES.get(self.rule, ("", ""))[1]
         if hint:
             text += f"\n    hint: {hint}"
+        if self.witness:
+            steps = [f"{file}:{line} {symbol}"
+                     for file, line, symbol in self.witness]
+            text += "\n    witness: " + \
+                "\n          -> ".join(steps)
         return text
 
 
@@ -125,9 +157,19 @@ def format_text(findings: Iterable[Finding]) -> str:
 
 
 def findings_to_json(findings: Iterable[Finding]) -> str:
+    """Machine-readable findings.
+
+    Every entry carries ``fingerprint`` — the line-free baseline
+    digest that survives unrelated line shifts — and ``witness``, the
+    source→sink hops of interprocedural findings (``[]`` for
+    single-function rules).
+    """
     payload: List[dict] = [
         {"path": f.path, "line": f.line, "rule": f.rule,
          "message": f.message,
-         "hint": f.hint or RULES.get(f.rule, ("", ""))[1]}
+         "hint": f.hint or RULES.get(f.rule, ("", ""))[1],
+         "fingerprint": f.stable_id,
+         "witness": [{"file": file, "line": line, "symbol": symbol}
+                     for file, line, symbol in f.witness]}
         for f in sorted(findings)]
     return json.dumps(payload, indent=2, sort_keys=True)

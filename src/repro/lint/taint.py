@@ -33,11 +33,14 @@ Sanitizers / sanctioned scopes
       :func:`repro.obs.query_hash_bucket` — therefore sanitizes, as
       does ``len()``/counting.
 
-The tracking is intentionally per-function and flow-insensitive
+The tracking here is intentionally per-function and flow-insensitive
 across calls: it will not chase taint through object fields or across
-function boundaries. That keeps it fast, zero-config and effectively
-free of false positives on this codebase; the dynamic audit covers
-the interprocedural residue at runtime. See
+function boundaries. That keeps it the fast intra pre-pass — zero
+config, effectively free of false positives on this codebase. The
+interprocedural gap is closed statically by the whole-program PDG
+pass (:mod:`repro.lint.pdg` / :mod:`repro.lint.linking` /
+:mod:`repro.lint.paths`, rules ``taint-interprocedural`` and
+``taint-field-flow``), and dynamically by the runtime audit. See
 ``docs/static-analysis.md`` for the full contract.
 """
 

@@ -46,6 +46,8 @@ THROUGHPUT_KEYS = (
     ("engine_scaling", "best_searches_per_sec"),
     ("monitor", "windows_per_sec"),
     ("monitor", "disabled_events_per_sec"),
+    ("lint", "files_per_sec_jobs1"),
+    ("lint", "files_per_sec_pool"),
 )
 
 #: Default workload parameters (overridable via CLI flags / kwargs).
@@ -63,6 +65,7 @@ DEFAULT_PARAMS: Dict[str, Any] = {
     # Stored as a list so the JSON baseline round-trips bit-identically.
     "replica_counts": [2, 4],
     "monitor_windows": 400,
+    "lint_jobs": 2,
     "profile_nodes": 8,
     "profile_searches": 6,
     "profile_sample_interval": 256,
@@ -502,6 +505,44 @@ def bench_monitor(monitor_windows: int = 400, repeats: int = 5,
 # -- 6. deterministic profile attribution --------------------------------
 
 
+def bench_lint(lint_jobs: int = 2, **_ignored: Any) -> Dict[str, Any]:
+    """Static-analyzer throughput over the real ``src/`` tree.
+
+    Runs the full pipeline — the four per-module checkers plus
+    whole-program PDG linking and path queries — once serially
+    (``--jobs 1``) and once over a *lint_jobs*-worker pool, and
+    asserts the two reports are byte-identical (the pool contract).
+    Both files/sec numbers feed ``check_regression``; on a single
+    core the pool number mostly measures fork overhead, which is
+    exactly what the gate should notice creeping up.
+    """
+    from repro.lint import findings_to_json, run_lint
+    from repro.lint.engine import _file_list, default_root
+
+    root = default_root()
+    num_files = len(_file_list(root))
+
+    start = time.perf_counter()
+    serial = run_lint(root=root, jobs=1)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    pooled = run_lint(root=root, jobs=lint_jobs)
+    pool_seconds = time.perf_counter() - start
+
+    return {
+        "files": num_files,
+        "findings": len(serial),
+        "jobs": lint_jobs,
+        "wall_seconds_jobs1": round(serial_seconds, 3),
+        "wall_seconds_pool": round(pool_seconds, 3),
+        "files_per_sec_jobs1": round(num_files / serial_seconds, 1),
+        "files_per_sec_pool": round(num_files / pool_seconds, 1),
+        "identical_across_jobs":
+            findings_to_json(serial) == findings_to_json(pooled),
+    }
+
+
 def bench_profile(profile_nodes: int = 8, profile_searches: int = 6,
                   profile_sample_interval: int = 256, seed: int = 0,
                   **_ignored: Any) -> Dict[str, Any]:
@@ -553,6 +594,7 @@ BENCH_SECTIONS = {
     "search": bench_search,
     "engine_scaling": bench_engine_scaling,
     "monitor": bench_monitor,
+    "lint": bench_lint,
     "profile": bench_profile,
 }
 
@@ -701,6 +743,19 @@ def format_report(results: Dict[str, Any]) -> str:
             f"{mon['windows_per_sec']:>12.1f}",
             f"  disabled-guard events/sec : "
             f"{mon['disabled_events_per_sec']:>12.0f}",
+        ]
+    lint = results.get("lint")
+    if lint is not None:
+        lines += [
+            "",
+            f"static analysis ({lint['files']} files, "
+            f"{lint['findings']} finding(s))",
+            f"  files/sec (--jobs 1)      : "
+            f"{lint['files_per_sec_jobs1']:>12.1f}",
+            f"  files/sec (--jobs {lint['jobs']})      : "
+            f"{lint['files_per_sec_pool']:>12.1f}",
+            f"  identical across jobs     : "
+            f"{lint['identical_across_jobs']}",
         ]
     prof = results.get("profile")
     if prof is not None:

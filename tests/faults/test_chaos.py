@@ -8,7 +8,7 @@ from repro.faults import chaos
 pytestmark = pytest.mark.chaos
 
 #: Matrix scale for tests: small but large enough that faults fire.
-SCALE = dict(num_nodes=6, queries=2, seed=11)
+SCALE = dict(num_nodes=6, num_queries=2, seed=11)
 
 
 class TestMatrixShape:

@@ -57,7 +57,7 @@ class TestReplicaCrashCell:
 
     def test_searches_survive_a_crashed_replica(self):
         row = chaos.run_cell(chaos.matrix_cells(["replica-crash"])[0],
-                             num_nodes=6, queries=3, seed=11)
+                             num_nodes=6, num_queries=3, seed=11)
         assert row["faults_injected"].get("crash", 0) >= 1
         assert row["hung_searches"] == 0
         assert row["disjointness_violations"] == 0

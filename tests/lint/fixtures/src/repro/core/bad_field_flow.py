@@ -1,0 +1,14 @@
+"""Known-bad: query text parks on an object field, then leaks.
+
+The write and the read live in different methods, so neither method
+alone shows a source→sink flow; the field node in the whole-program
+PDG connects them.
+"""
+
+
+class Holder:
+    def __init__(self, query):
+        self._q = query
+
+    def dump(self):
+        print(self._q)

@@ -1,0 +1,15 @@
+"""Known-bad: query text crosses a function boundary before leaking.
+
+``handle`` receives the query under a source parameter name and hands
+it to ``forward`` under a neutral name (``message``); the per-function
+checker sees no source inside ``forward`` and no sink inside
+``handle``, so only the whole-program PDG pass catches the flow.
+"""
+
+
+def forward(message):
+    print(message)
+
+
+def handle(query):
+    forward(query)

@@ -33,6 +33,8 @@ EXPECTED = {
     "bad_layering.py": "layer-import-dag",
     "bad_obs_import.py": "layer-obs-facade",
     "bad_parse.py": "parse-error",
+    "bad_interproc.py": "taint-interprocedural",
+    "bad_field_flow.py": "taint-field-flow",
 }
 
 
@@ -72,3 +74,46 @@ def test_trusted_closure_spares_the_gated_method():
     findings = _lint_one("bad_trusted.py")
     assert "DemoEnclave.peek" in findings[0].message
     assert "seal" not in findings[0].message
+
+
+# -- the PDG fixtures: blind spots of the per-function checker -------
+
+def _intra_only(name):
+    """Run just the per-function taint checker on one fixture."""
+    from repro.lint.taint import check_taint
+
+    path = FIXTURE_ROOT / "repro" / "core" / name
+    return run_lint(root=FIXTURE_ROOT, paths=[path],
+                    checkers=[check_taint])
+
+
+@pytest.mark.parametrize("name", ["bad_interproc.py",
+                                  "bad_field_flow.py"])
+def test_per_function_checker_alone_misses_the_pdg_fixtures(name):
+    # this is the gap the whole-program pass exists to close: the
+    # intra checker sees no source-and-sink inside any one function
+    assert _intra_only(name) == []
+
+
+def test_interproc_witness_names_every_hop():
+    finding = _lint_one("bad_interproc.py")[0]
+    assert finding.rule == "taint-interprocedural"
+    assert finding.line == 11          # anchored at the print() sink
+    assert "handle -> forward" in finding.message
+    hops = [(line, symbol) for _file, line, symbol in finding.witness]
+    assert hops == [
+        (14, "parameter 'query' of handle"),   # the source
+        (15, "forward(message)"),              # the call boundary
+        (11, "print()"),                       # the sink
+    ]
+    assert all(file == "repro/core/bad_interproc.py"
+               for file, _line, _symbol in finding.witness)
+
+
+def test_field_flow_witness_names_the_field_write():
+    finding = _lint_one("bad_field_flow.py")[0]
+    assert finding.rule == "taint-field-flow"
+    assert "through field Holder._q" in finding.message
+    symbols = [symbol for _file, _line, symbol in finding.witness]
+    assert symbols == ["parameter 'query' of Holder.__init__",
+                       "Holder._q =", "print()"]

@@ -1,0 +1,299 @@
+"""The whole-program PDG pass: graph edge cases, determinism, output.
+
+Each test builds a tiny source tree under ``tmp_path`` (mirroring the
+real ``repro.core`` layout so package-sensitive rules behave normally)
+and pins how the interprocedural pass handles a specific construct —
+decorators, lambdas, comprehension scopes, ``*args``/``**kwargs``
+forwarding, re-exports, declassifiers, pragmas — plus the ``--jobs``
+byte-identity contract and the JSON witness/fingerprint format.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.lint import findings_to_json, format_text, run_lint
+
+pytestmark = pytest.mark.lint
+
+FIXTURE_ROOT = Path(__file__).resolve().parent / "fixtures" / "src"
+
+
+def lint_tree(tmp_path, files, jobs=1):
+    root = tmp_path / "src"
+    for rel, content in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(content), encoding="utf-8")
+    return run_lint(root=root, jobs=jobs)
+
+
+def interproc(findings):
+    return [f for f in findings
+            if f.rule in ("taint-interprocedural", "taint-field-flow")]
+
+
+# -- cross-module resolution ----------------------------------------------
+
+def test_cross_module_flow_carries_a_cross_file_witness(tmp_path):
+    findings = interproc(lint_tree(tmp_path, {
+        "repro/core/helper.py":
+            "def leak(message):\n    print(message)\n",
+        "repro/core/main.py":
+            "from repro.core.helper import leak\n\n\n"
+            "def handle(query):\n    leak(query)\n",
+    }))
+    assert [f.rule for f in findings] == ["taint-interprocedural"]
+    finding = findings[0]
+    assert finding.path == "repro/core/helper.py"  # anchored at sink
+    files = [file for file, _line, _symbol in finding.witness]
+    assert files == ["repro/core/main.py", "repro/core/main.py",
+                     "repro/core/helper.py"]
+
+
+def test_reexported_name_resolves_through_the_package_init(tmp_path):
+    findings = interproc(lint_tree(tmp_path, {
+        "repro/core/helper.py":
+            "def leak(message):\n    print(message)\n",
+        "repro/core/__init__.py":
+            "from repro.core.helper import leak\n",
+        "repro/core/main.py":
+            "from repro.core import leak\n\n\n"
+            "def handle(query):\n    leak(query)\n",
+    }))
+    assert [f.rule for f in findings] == ["taint-interprocedural"]
+    assert "handle -> leak" in findings[0].message
+
+
+# -- graph-construction edge cases ----------------------------------------
+
+def test_decorated_callee_is_still_linked(tmp_path):
+    findings = interproc(lint_tree(tmp_path, {
+        "repro/core/deco.py": """\
+        def trace(func):
+            return func
+
+
+        @trace
+        def emit(message):
+            print(message)
+
+
+        def handle(query):
+            emit(query)
+        """,
+    }))
+    assert [f.rule for f in findings] == ["taint-interprocedural"]
+
+
+def test_assigned_lambda_is_a_linkable_function(tmp_path):
+    findings = interproc(lint_tree(tmp_path, {
+        "repro/core/lam.py":
+            "emit = lambda message: print(message)\n\n\n"
+            "def handle(query):\n    emit(query)\n",
+    }))
+    assert [f.rule for f in findings] == ["taint-interprocedural"]
+    assert "emit" in findings[0].message
+
+
+def test_comprehension_result_carries_taint(tmp_path):
+    findings = interproc(lint_tree(tmp_path, {
+        "repro/core/comp.py": """\
+        def emit(items):
+            print(items)
+
+
+        def handle(query):
+            emit([w.upper() for w in query.split()])
+        """,
+    }))
+    assert [f.rule for f in findings] == ["taint-interprocedural"]
+
+
+def test_comprehension_target_does_not_escape_its_scope(tmp_path):
+    # the generator variable shadows the outer binding only inside
+    # the comprehension; the outer (clean) binding is what escapes
+    findings = interproc(lint_tree(tmp_path, {
+        "repro/core/comp2.py": """\
+        def emit(message):
+            print(message)
+
+
+        def handle(query):
+            w = "safe"
+            sizes = [w for w in query.split()]
+            del sizes
+            emit(w)
+        """,
+    }))
+    assert findings == []
+
+
+def test_star_args_forwarding_over_approximates(tmp_path):
+    findings = interproc(lint_tree(tmp_path, {
+        "repro/core/star.py": """\
+        def emit(message):
+            print(message)
+
+
+        def relay(*args, **kwargs):
+            emit(*args, **kwargs)
+
+
+        def handle(query):
+            relay(query)
+        """,
+    }))
+    assert [f.rule for f in findings] == ["taint-interprocedural"]
+    assert "handle -> relay -> emit" in findings[0].message
+
+
+def test_untyped_receiver_is_a_pinned_blind_spot(tmp_path):
+    # the pass does no receiver type inference: method calls on names
+    # other than ``self`` stay sanitizer boundaries (a documented
+    # under-approximation, docs/static-analysis.md#pdg)
+    findings = interproc(lint_tree(tmp_path, {
+        "repro/core/recv.py": """\
+        class Box:
+            def put(self, query):
+                self._value = query
+
+            def get(self):
+                return self._value
+
+
+        def handle(box, query):
+            box.put(query)
+            print(box.get())
+        """,
+    }))
+    assert findings == []
+
+
+# -- declassifiers and suppression ----------------------------------------
+
+def test_query_hash_bucket_declassifies(tmp_path):
+    findings = interproc(lint_tree(tmp_path, {
+        "repro/core/hash.py": """\
+        from repro.obs import query_hash_bucket
+
+
+        def emit(message):
+            print(message)
+
+
+        def handle(query):
+            emit(query_hash_bucket(query))
+        """,
+    }))
+    assert findings == []
+
+
+def test_trusted_enclave_module_declassifies(tmp_path):
+    # calls into the trusted closure are sanctioned boundaries: the
+    # enclave seals, so taint does not flow through its return
+    findings = interproc(lint_tree(tmp_path, {
+        "repro/sgx/sealer.py":
+            "def seal(query):\n    return bytes(query, 'utf-8')\n",
+        "repro/core/main.py": """\
+        from repro.sgx.sealer import seal
+
+
+        def emit(message):
+            print(message)
+
+
+        def handle(query):
+            emit(seal(query))
+        """,
+    }))
+    assert findings == []
+
+
+def test_pragma_on_the_sink_line_suppresses(tmp_path):
+    findings = interproc(lint_tree(tmp_path, {
+        "repro/core/prag.py": """\
+        def emit(message):
+            print(message)  # lint: allow(taint-interprocedural)
+
+
+        def handle(query):
+            emit(query)
+        """,
+    }))
+    assert findings == []
+
+
+# -- determinism across the pool ------------------------------------------
+
+def test_findings_are_byte_identical_across_jobs(tmp_path):
+    files = {
+        "repro/core/helper.py":
+            "def leak(message):\n    print(message)\n",
+        "repro/core/main.py":
+            "from repro.core.helper import leak\n\n\n"
+            "def handle(query):\n    leak(query)\n",
+        "repro/core/field.py": """\
+        class Holder:
+            def __init__(self, query):
+                self._q = query
+
+            def dump(self):
+                print(self._q)
+        """,
+    }
+    reports = [format_text(lint_tree(tmp_path / str(jobs), files,
+                                     jobs=jobs))
+               for jobs in (1, 2, 4)]
+    assert reports[0] == reports[1] == reports[2]
+    assert "[taint-interprocedural]" in reports[0]
+    assert "[taint-field-flow]" in reports[0]
+
+
+def test_cli_jobs_output_is_byte_identical(capsys):
+    outputs = []
+    for jobs in ("1", "2", "4"):
+        cli_main(["lint", "--root", str(FIXTURE_ROOT), "--jobs", jobs])
+        outputs.append(capsys.readouterr().out)
+    assert outputs[0] == outputs[1] == outputs[2]
+
+
+# -- the JSON contract -----------------------------------------------------
+
+def test_json_carries_witness_and_fingerprint(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "repro/core/helper.py":
+            "def leak(message):\n    print(message)\n",
+        "repro/core/main.py":
+            "from repro.core.helper import leak\n\n\n"
+            "def handle(query):\n    leak(query)\n",
+    })
+    payload = json.loads(findings_to_json(findings))
+    (entry,) = [e for e in payload
+                if e["rule"] == "taint-interprocedural"]
+    assert set(entry["witness"][0]) == {"file", "line", "symbol"}
+    symbols = [hop["symbol"] for hop in entry["witness"]]
+    assert symbols == ["parameter 'query' of handle", "leak(message)",
+                       "print()"]
+    assert len(entry["fingerprint"]) == 16
+    int(entry["fingerprint"], 16)  # hex digest
+
+
+def test_fingerprint_survives_unrelated_line_shifts(tmp_path):
+    helper = "def leak(message):\n    print(message)\n"
+    main = ("from repro.core.helper import leak\n\n\n"
+            "def handle(query):\n    leak(query)\n")
+    shifted = "# a comment\n# another\n\n" + main
+
+    def fingerprint(base, main_src):
+        findings = lint_tree(base, {"repro/core/helper.py": helper,
+                                    "repro/core/main.py": main_src})
+        (finding,) = interproc(findings)
+        return finding.stable_id
+
+    before = fingerprint(tmp_path / "a", main)
+    after = fingerprint(tmp_path / "b", shifted)
+    assert before == after
