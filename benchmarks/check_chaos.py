@@ -67,7 +67,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     report = chaos.run_matrix(
         chaos.matrix_cells(None, plan_seed=PLAN_SEED),
-        num_nodes=NODES, queries=QUERIES, seed=SEED)
+        num_nodes=NODES, num_queries=QUERIES, seed=SEED)
 
     if args.json:
         print(chaos.report_json(report))

@@ -1,0 +1,102 @@
+"""Sharded-kernel byte-identity gate.
+
+The :class:`repro.net.simulator.ShardedSimulator` contract is that a
+run's observable outcome — the merged event order, every per-node
+counter, every model stat — is a pure function of the seed, never of
+the shard count or the worker count. This gate re-proves that on the
+churn+chaos workload (:mod:`repro.experiments.shard_scale`): it runs
+the same seeded scenario at ``shards=1`` (the reference single-heap
+layout) and at each sharded/forked layout, and fails (exit code 1)
+the moment any layout's event-order digest, event count, or per-node
+stats diverge from the reference.
+
+This is the cheap, always-on companion to the ``shard``-marked test
+suite — small enough (a few hundred nodes for a few simulated
+seconds) to run on every PR next to the other gates::
+
+    PYTHONPATH=src python -m benchmarks.check_shard_determinism
+    PYTHONPATH=src python -m benchmarks.check_shard_determinism \
+        --nodes 500 --duration 8 --seeds 0 1
+
+There is no baseline file to update: the reference is computed fresh
+each run, so a divergence always means a determinism bug (a shared
+RNG stream, an order-dependent tie-break, a barrier-edge drift), not
+a stale artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import shard_scale
+
+#: (shards, workers) layouts compared against the shards=1 reference.
+DEFAULT_LAYOUTS = ((2, 1), (4, 1), (4, 2), (8, 4))
+
+
+def check_seed(seed: int, nodes: int, duration: float,
+               layouts=DEFAULT_LAYOUTS) -> bool:
+    """Run the reference and every layout for one seed; print a row
+    per layout and return True when all of them are byte-identical."""
+    reference = shard_scale.run(
+        num_nodes=nodes, shards=1, workers=1, duration=duration,
+        seed=seed, digest=True, collect_node_stats=True)
+    print(f"seed {seed}: reference shards=1 workers=1 — "
+          f"{reference['events']} events, digest "
+          f"{reference['event_order_digest'][:16]}…")
+    all_ok = True
+    for shards, workers in layouts:
+        candidate = shard_scale.run(
+            num_nodes=nodes, shards=shards, workers=workers,
+            duration=duration, seed=seed, digest=True,
+            collect_node_stats=True)
+        problems = []
+        if candidate["event_order_digest"] != reference["event_order_digest"]:
+            problems.append(
+                f"event order digest {candidate['event_order_digest'][:16]}…")
+        if candidate["events"] != reference["events"]:
+            problems.append(f"event count {candidate['events']}")
+        if candidate["node_stats"] != reference["node_stats"]:
+            changed = sum(
+                1 for address, stats in reference["node_stats"].items()
+                if candidate["node_stats"].get(address) != stats)
+            problems.append(f"per-node stats ({changed} node(s) differ)")
+        if problems:
+            all_ok = False
+            print(f"  shards={shards} workers={workers}: DIVERGED — "
+                  + "; ".join(problems))
+        else:
+            print(f"  shards={shards} workers={workers}: identical")
+    return all_ok
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="check_shard_determinism",
+        description="prove sharded-kernel runs are byte-identical "
+                    "across shard and worker layouts")
+    parser.add_argument("--nodes", type=int, default=300,
+                        help="overlay size per run (default 300)")
+    parser.add_argument("--duration", type=float, default=6.0,
+                        help="simulated seconds per run (default 6)")
+    parser.add_argument("--seeds", type=int, nargs="+", default=[0],
+                        help="seeds to check (default: 0)")
+    args = parser.parse_args(argv)
+
+    ok = True
+    for seed in args.seeds:
+        ok = check_seed(seed, args.nodes, args.duration) and ok
+    if not ok:
+        print("\nFAIL: a sharded layout diverged from the single-heap "
+              "reference — the kernel's determinism contract is broken "
+              "(suspect: a shared RNG stream, an order-dependent "
+              "tie-break, or barrier-edge drift)", file=sys.stderr)
+        return 1
+    print("\nok: every layout byte-identical to shards=1")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

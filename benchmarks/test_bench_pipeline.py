@@ -144,3 +144,50 @@ def test_bench_engine_scaling_speedup(benchmark, report):
     ]))
     assert results["sharded_identical"]
     assert results["speedup"] >= ENGINE_SPEEDUP_FLOOR
+
+
+SHARD_SPEEDUP_FLOOR = 3.0  # acceptance: 8 workers vs 1, given the cores
+
+
+def test_bench_shard_scaling(benchmark, report):
+    """The sharded kernel's nodes-vs-events/sec curve, plus the worker
+    scale-out claim.
+
+    The >= 3x aggregate-events/sec acceptance at 8 workers presumes 8
+    cores to run them on; parallel speedup is physically bounded by
+    ``cpu_count``, so on smaller boxes the assertion degrades to the
+    honest one — the worker machinery must not *lose* more than the
+    documented barrier/IPC overhead — and the full floor is asserted
+    only where it is achievable.
+    """
+    results = single_run(benchmark, perf.bench_shard_scaling, seed=0)
+    cores = results["cpu_count"]
+    report("\n".join([
+        "",
+        "== Sharded kernel scale-out ==",
+        *(f"{row['num_nodes']:>6} nodes : "
+          f"{row['events_per_sec']:>10.0f} events/sec  "
+          f"({row['cross_shard_fraction'] * 100:.0f}% cross-shard)"
+          for row in results["node_curve"]),
+        *(f"{row['workers']:>2} workers : "
+          f"{row['events_per_sec']:>10.0f} events/sec  "
+          f"({row['speedup']:.2f}x)"
+          for row in results["worker_curve"]),
+        f"cores: {cores}, best: {results['best_workers']} workers at "
+        f"{results['best_events_per_sec']:.0f} events/sec "
+        f"({results['best_speedup']:.2f}x; floor {SHARD_SPEEDUP_FLOOR:.0f}x "
+        f"when cores >= 8)",
+    ]))
+    assert [row["num_nodes"] for row in results["node_curve"]] \
+        == sorted(row["num_nodes"] for row in results["node_curve"])
+    assert all(row["events_per_sec"] > 0 for row in results["node_curve"])
+    if cores >= 8:
+        assert results["best_speedup"] >= SHARD_SPEEDUP_FLOOR
+    else:
+        # Single-digit cores: scale-out cannot beat the core count, so
+        # gate what is measurable — the forked path must stay within
+        # sane overhead of the in-process kernel.
+        assert results["best_speedup"] >= 1.0  # workers=1 is in the pool
+        slowest = min(row["speedup"] for row in results["worker_curve"])
+        assert slowest >= 0.25, (
+            f"worker overhead exploded: {slowest:.2f}x of workers=1")

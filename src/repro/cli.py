@@ -29,6 +29,11 @@ Commands:
   time-series flight recorder: per-window dashboard, deterministic
   JSON report or OpenMetrics series, plus the SLO burn-rate verdict
   (see ``docs/observability.md``).
+- ``scale``                     — run a city-scale churn+chaos overlay
+  on the space-partitioned sharded kernel (default: the 10k-node
+  ROADMAP scenario); ``--digest`` adds the event-order digest that
+  witnesses byte-identity across shard/worker layouts (see
+  ``docs/performance.md``).
 
 Examples::
 
@@ -48,6 +53,9 @@ Examples::
     python -m repro monitor
     python -m repro monitor --json
     python -m repro monitor --format openmetrics
+    python -m repro scale
+    python -m repro scale --nodes 100000 --shards 16 --duration 5
+    python -m repro scale --shards 4 --workers 2 --digest --json
 """
 
 from __future__ import annotations
@@ -89,6 +97,8 @@ EXPERIMENTS: Dict[str, tuple] = {
                     "Tooling — generator-knob calibration sweep"),
     "fullstack": ("repro.experiments.fullstack_privacy",
                   "Validation — SimAttack vs the real network stack"),
+    "scale": ("repro.experiments.shard_scale",
+              "Extension — 10k-node churn+chaos on the sharded kernel"),
 }
 
 #: 'all' runs the cheap analytic experiments; the network-heavy
@@ -263,6 +273,9 @@ def _cmd_perf(args) -> int:
             searches=args.searches, monitor_windows=args.monitor_windows,
             engine_queries=args.engine_queries,
             engine_docs_per_topic=args.engine_docs_per_topic,
+            shard_nodes=args.shard_nodes, shard_workers=args.shard_workers,
+            shard_count=args.shard_count,
+            shard_duration=args.shard_duration,
             seed=args.seed)
     except ValueError as error:
         print(f"ERROR: {error}", file=sys.stderr)
@@ -486,6 +499,26 @@ def _cmd_monitor(args) -> int:
     return 0
 
 
+def _cmd_scale(args) -> int:
+    """Run the sharded-kernel churn+chaos scenario."""
+    from repro.experiments import shard_scale
+
+    try:
+        report = shard_scale.run(
+            num_nodes=args.nodes, shards=args.shards, workers=args.workers,
+            duration=args.duration, seed=args.seed, digest=args.digest,
+            fanout=args.fanout, query_interval=args.interval,
+            response_drop=args.drop, churn_fraction=args.churn)
+    except ValueError as error:
+        print(f"ERROR: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(shard_scale.report_json(report))
+    else:
+        print(shard_scale.format_report(report))
+    return 0
+
+
 def _windows_from_report(report) -> list:
     """Rebuild Window rows from a report's window dicts (CLI-side glue
     so the OpenMetrics dump reuses the one exporter)."""
@@ -575,12 +608,27 @@ def build_parser() -> argparse.ArgumentParser:
                              default=None,
                              help="corpus size knob for the engine "
                                   "scale-out bench (default 6000)")
+    perf_parser.add_argument("--shard-nodes", type=int, nargs="+",
+                             default=None, metavar="N",
+                             help="overlay sizes of the sharded-kernel "
+                                  "node curve (default 1000 2500 5000)")
+    perf_parser.add_argument("--shard-workers", type=int, nargs="+",
+                             default=None, metavar="W",
+                             help="worker counts of the sharded-kernel "
+                                  "worker curve (default 1 2 4 8)")
+    perf_parser.add_argument("--shard-count", type=int, default=None,
+                             help="shards in the sharded-kernel bench "
+                                  "(default 8)")
+    perf_parser.add_argument("--shard-duration", type=float, default=None,
+                             help="simulated seconds per sharded-kernel "
+                                  "run (default 5)")
     perf_parser.add_argument("--seed", type=int, default=None)
     perf_parser.add_argument(
         "--only", action="append", default=None, metavar="SECTION",
         help="run only these bench sections (repeatable or "
              "comma-separated; known: sensitivity, simulator, search, "
-             "engine_scaling, monitor, profile). With --output, the "
+             "engine_scaling, shard_scaling, monitor, lint, profile). "
+             "With --output, the "
              "measured sections are merged into an existing baseline "
              "file")
     perf_parser.add_argument(
@@ -729,6 +777,43 @@ def build_parser() -> argparse.ArgumentParser:
              "the per-subsystem CPU attribution (dash format only; the "
              "json report gains a 'profile' section)")
 
+    scale_parser = subparsers.add_parser(
+        "scale", help="run a city-scale churn+chaos overlay on the "
+                      "space-partitioned sharded kernel "
+                      "(docs/performance.md)")
+    scale_parser.add_argument("--nodes", type=int, default=10_000,
+                              help="overlay size (default 10000)")
+    scale_parser.add_argument("--shards", type=int, default=8,
+                              help="space partitions of the node space "
+                                   "(default 8)")
+    scale_parser.add_argument("--workers", type=int, default=1,
+                              help="worker processes running the shards "
+                                   "(1..shards; default 1 — results are "
+                                   "byte-identical at any worker count)")
+    scale_parser.add_argument("--duration", type=float, default=20.0,
+                              help="simulated seconds (default 20)")
+    scale_parser.add_argument("--seed", type=int, default=0,
+                              help="run seed (default 0)")
+    scale_parser.add_argument("--fanout", type=int, default=3,
+                              help="peers queried per round (default 3)")
+    scale_parser.add_argument("--interval", type=float, default=1.0,
+                              help="seconds between query rounds "
+                                   "(default 1.0)")
+    scale_parser.add_argument("--drop", type=float, default=0.05,
+                              help="chaos: probability a peer eats a "
+                                   "query (default 0.05)")
+    scale_parser.add_argument("--churn", type=float, default=0.10,
+                              help="fraction of nodes that crash "
+                                   "mid-run (default 0.10)")
+    scale_parser.add_argument(
+        "--digest", action="store_true",
+        help="compute the event-order digest (byte-identity witness "
+             "across shard/worker layouts; costs some throughput)")
+    scale_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the deterministic report JSON (wall-clock fields "
+             "stripped; byte-identical for identical arguments)")
+
     return parser
 
 
@@ -761,6 +846,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_chaos(args)
     if args.command == "monitor":
         return _cmd_monitor(args)
+    if args.command == "scale":
+        return _cmd_scale(args)
     parser.print_help()
     return 0
 

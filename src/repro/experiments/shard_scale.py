@@ -1,0 +1,236 @@
+"""City-scale churn+chaos run on the sharded simulation kernel.
+
+ROADMAP item 1's success criterion: a 10k-node (up to 100k-node)
+overlay surviving churn and message chaos, simulated on one machine.
+The workload here is the *network-layer* stress mix of the paper's
+threat model — §III lets peers "behave arbitrarily by crashing", §VI-b
+answers with per-query blacklisting and retries — distilled to the
+traffic shape that saturates the event loop: every node periodically
+fans a query out to ``fanout`` random peers (CYCLOSA's k-fan-out,
+relay-eye view), peers answer unless chaos drops the response, and a
+per-query timer classifies the round as ok / partial / failed.
+Churned nodes crash mid-run and their pending traffic is dropped, as
+on the real overlay.
+
+Everything — peer choice, chaos drops, churn instants — derives from
+per-node seeded RNGs, so the run is byte-identical for any shard
+count and any worker count (see :mod:`repro.net.shards`); the event
+order digest and the per-node stats are the identity witnesses the
+``shard`` test suite and ``benchmarks/check_shard_determinism.py``
+compare.
+
+CLI::
+
+    python -m repro scale                      # 10k nodes, churn+chaos
+    python -m repro scale --nodes 100000 --shards 16 --duration 10
+    python -m repro scale --digest --json
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.net.shards import ShardActor
+from repro.net.simulator import ShardedSimulator
+
+#: Defaults of the named 10k-node scenario (the ROADMAP item's target;
+#: `main()` and `repro scale` run exactly this).
+DEFAULT_SCENARIO: Dict[str, Any] = {
+    "num_nodes": 10_000,
+    "shards": 8,
+    "workers": 1,
+    "duration": 20.0,
+    "seed": 0,
+    "fanout": 3,
+    "query_interval": 1.0,
+    "query_timeout": 0.8,
+    "response_drop": 0.05,
+    "churn_fraction": 0.10,
+    "churn_start": 5.0,
+    "churn_window": 10.0,
+    "lookahead": 0.05,
+    "latency_jitter": 0.10,
+}
+
+
+class ChurnChaosActor(ShardActor):
+    """One overlay node of the churn+chaos stress mix.
+
+    Config keys (see :data:`DEFAULT_SCENARIO`): ``num_nodes``,
+    ``fanout``, ``query_interval``, ``query_timeout``,
+    ``response_drop`` (chaos: the probability a peer silently eats a
+    query, like a crashed-after-receive relay), ``churn_fraction`` /
+    ``churn_start`` / ``churn_window`` (which nodes crash, and when).
+    """
+
+    def on_start(self) -> None:
+        config = self.config
+        self.queries = 0
+        self.ok = 0
+        self.partial = 0
+        self.failed = 0
+        self.replies_sent = 0
+        self.chaos_dropped = 0
+        self.was_churned = 0
+        self._qid = 0
+        self._received: Dict[int, int] = {}
+        if self.rng.random() < config["churn_fraction"]:
+            self.was_churned = 1
+            self.set_timer(
+                config["churn_start"]
+                + self.rng.uniform(0.0, config["churn_window"]), "depart")
+        # Spread first queries over one interval so the overlay does
+        # not fire in lock-step.
+        self.set_timer(self.rng.uniform(0.0, config["query_interval"]),
+                       "query")
+
+    def _pick_peer(self) -> str:
+        num_nodes = self.config["num_nodes"]
+        while True:
+            peer = self.rng.randrange(num_nodes)
+            address = f"n{peer:06d}"
+            if address != self.address:
+                return address
+
+    def on_timer(self, tag: str) -> None:
+        if tag == "query":
+            self._qid += 1
+            qid = self._qid
+            self._received[qid] = 0
+            for _ in range(self.config["fanout"]):
+                self.send(self._pick_peer(), "query", qid)
+            self.queries += 1
+            self.set_timer(self.config["query_timeout"], f"w:{qid}")
+            self.set_timer(self.config["query_interval"], "query")
+        elif tag.startswith("w:"):
+            received = self._received.pop(int(tag[2:]), 0)
+            if received >= self.config["fanout"]:
+                self.ok += 1
+            elif received > 0:
+                self.partial += 1
+            else:
+                self.failed += 1
+        elif tag == "depart":
+            self.depart()
+
+    def on_message(self, src: str, kind: str, payload: Any) -> None:
+        if kind == "query":
+            if self.rng.random() < self.config["response_drop"]:
+                self.chaos_dropped += 1  # chaos: silently eaten
+                return
+            self.replies_sent += 1
+            self.send(src, "reply", payload)
+        elif kind == "reply":
+            qid = payload
+            if qid in self._received:
+                self._received[qid] += 1
+
+    def node_stats(self) -> Dict[str, Any]:
+        return {
+            "queries": self.queries,
+            "ok": self.ok,
+            "partial": self.partial,
+            "failed": self.failed,
+            "replies_sent": self.replies_sent,
+            "chaos_dropped": self.chaos_dropped,
+            "was_churned": self.was_churned,
+        }
+
+
+def run(num_nodes: int = 10_000, shards: int = 8, workers: int = 1,
+        duration: float = 20.0, seed: int = 0,
+        digest: bool = False, collect_node_stats: bool = False,
+        **scenario: Any) -> Dict[str, Any]:
+    """One churn+chaos run; returns the deterministic report dict.
+
+    *scenario* overrides the :data:`DEFAULT_SCENARIO` workload knobs
+    (``fanout``, ``query_interval``, ``response_drop``, ...). The
+    returned dict is a pure function of the arguments except for
+    ``wall_seconds`` / ``events_per_sec``.
+    """
+    config = dict(DEFAULT_SCENARIO)
+    unknown = set(scenario) - set(config)
+    if unknown:
+        raise TypeError(f"unknown scenario knobs: {sorted(unknown)}")
+    config.update(scenario)
+    config.update(num_nodes=num_nodes, shards=shards, workers=workers,
+                  duration=duration, seed=seed)
+    # Node stats are always collected: the aggregate round counters
+    # below come from them, and they are cheap (one small dict per
+    # node). The full per-node map is only returned when asked for.
+    kernel = ShardedSimulator(
+        ChurnChaosActor, config, num_nodes=num_nodes, shards=shards,
+        workers=workers, seed=seed, lookahead=config["lookahead"],
+        latency_jitter=config["latency_jitter"], digest=digest,
+        collect_node_stats=True)
+    report = kernel.run(until=duration)
+    aggregate = report.aggregate
+    completed = (aggregate.get("ok", 0) + aggregate.get("partial", 0)
+                 + aggregate.get("failed", 0))
+    result: Dict[str, Any] = {
+        "scenario": {key: config[key] for key in sorted(config)},
+        "windows": report.windows,
+        "events": report.events,
+        "messages_sent": report.messages_sent,
+        "cross_shard_messages": report.cross_shard_messages,
+        "cross_shard_fraction": (
+            report.cross_shard_messages / report.messages_sent
+            if report.messages_sent else 0.0),
+        "dropped_to_departed": report.dropped_to_departed,
+        "departed": report.departed,
+        "completed_rounds": int(completed),
+        "ok_rounds": int(aggregate.get("ok", 0)),
+        "partial_rounds": int(aggregate.get("partial", 0)),
+        "failed_rounds": int(aggregate.get("failed", 0)),
+        "chaos_dropped": int(aggregate.get("chaos_dropped", 0)),
+        "event_order_digest": report.event_order_digest,
+        "wall_seconds": report.wall_seconds,
+        "events_per_sec": report.events_per_sec,
+    }
+    if collect_node_stats:
+        result["node_stats"] = report.node_stats
+    return result
+
+
+def report_json(report: Dict[str, Any]) -> str:
+    """Canonical JSON of the deterministic part of a report (the
+    wall-clock numbers are stripped: same seed → same bytes)."""
+    stable = {key: value for key, value in report.items()
+              if key not in ("wall_seconds", "events_per_sec")}
+    return json.dumps(stable, indent=2, sort_keys=True)
+
+
+def format_report(report: Dict[str, Any]) -> str:
+    scenario = report["scenario"]
+    lines = [
+        f"sharded churn+chaos run — {scenario['num_nodes']} nodes, "
+        f"{scenario['shards']} shard(s), {scenario['workers']} worker(s), "
+        f"{scenario['duration']}s simulated (seed {scenario['seed']})",
+        f"  events executed          : {report['events']:>12,}",
+        f"  events/sec (wall)        : {report['events_per_sec']:>12,.0f}",
+        f"  barrier windows          : {report['windows']:>12,}",
+        f"  messages (cross-shard)   : {report['messages_sent']:>12,} "
+        f"({report['cross_shard_fraction'] * 100:.1f}% cross)",
+        f"  query rounds completed   : {report['completed_rounds']:>12,}",
+        f"    ok / partial / failed  : {report['ok_rounds']:,} / "
+        f"{report['partial_rounds']:,} / {report['failed_rounds']:,}",
+        f"  chaos-eaten queries      : {report['chaos_dropped']:>12,}",
+        f"  churned nodes            : {report['departed']:>12,}",
+        f"  msgs dropped to departed : {report['dropped_to_departed']:>12,}",
+    ]
+    if report["event_order_digest"]:
+        lines.append(
+            f"  event order digest       : "
+            f"{report['event_order_digest'][:32]}…")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list] = None) -> None:
+    """Run the named 10k-node churn+chaos scenario (ROADMAP item 1)."""
+    report = run()
+    print(format_report(report))
+
+
+if __name__ == "__main__":
+    main()

@@ -56,6 +56,15 @@ class ChurnProcess:
             raise ValueError("style must be 'crash' or 'graceful'")
         if duration < 0:
             raise ValueError("duration must be non-negative")
+        now = self.network.simulator.now
+        if start < now:
+            # Validate up front: otherwise the first draw that lands
+            # before `now` fails deep inside Simulator.schedule with an
+            # opaque "cannot schedule into the past (delay=-…)".
+            raise ValueError(
+                f"departure window [{start}, {start + duration}] starts "
+                f"in the past: the simulation is already at "
+                f"sim.now={now}")
         scheduled: List[ChurnEvent] = []
         for victim in victims:
             when = start + self.rng.uniform(0.0, duration)

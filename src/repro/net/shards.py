@@ -1,0 +1,346 @@
+"""Space-partitioned shards of the simulation: actors, per-shard heaps.
+
+The single-heap :class:`~repro.net.simulator.Simulator` executes every
+event of the whole world in one process; that caps CYCLOSA runs at toy
+populations (ROADMAP item 1). The sharded kernel splits the *node
+space* instead of the time axis: every node (here: :class:`ShardActor`)
+is assigned to exactly one shard by :func:`shard_of`, each shard runs
+its own event heap (:class:`ShardRuntime`), and shards only interact
+through messages that are exchanged at deterministic time barriers
+(driven by :class:`repro.net.simulator.ShardedSimulator`).
+
+Determinism contract — the whole point of the design:
+
+* Every event carries a **key** ``(rank, actor, seq)`` that is a pure
+  function of the *causing actor's own history*: timers are keyed by
+  the owning actor's timer counter, messages by the sender's send
+  counter. Keys never depend on which shard (or worker process) ran
+  the event, so the merged event order — sorted by ``(time, key)`` —
+  is byte-identical for any shard count and any worker count.
+* Every message delay is a pure hash of ``(seed, src, dst, send
+  seq)`` — never a draw from a shared RNG stream, whose consumption
+  order would differ between shard layouts. Each actor additionally
+  owns a private ``random.Random`` seeded from ``(seed, address)``
+  for model-level decisions.
+* Every message delay is at least the **lookahead**: a message sent
+  inside barrier window ``[kW, (k+1)W)`` cannot arrive before
+  ``(k+1)W``, so exchanging outboxes at the window edge is always in
+  time, and whether the sender happens to share a shard with the
+  receiver is unobservable. (This is the classic conservative
+  synchronisation argument; the lookahead plays the role of the
+  minimum link latency.)
+
+The per-shard heaps reuse the plain-list entry idiom of
+:mod:`repro.net.simulator`; entries are ``[time, key, desc]`` with
+picklable descriptor tuples, so a shard can live in a forked worker
+and its cross-shard traffic can ride a pipe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "ShardActor",
+    "ShardRuntime",
+    "ShardSpec",
+    "ShardStats",
+    "shard_of",
+    "make_addresses",
+]
+
+#: Event-key ranks: timers order before message deliveries at the same
+#: instant (both are then ordered by actor address and per-actor seq).
+_RANK_TIMER, _RANK_MESSAGE = 0, 1
+
+
+def shard_of(address: str, num_shards: int) -> int:
+    """Deterministic shard assignment for *address* (stable across
+    processes and Python hash randomisation — crc32, the same idiom
+    :func:`repro.searchengine.sharding.route_to_replica` uses)."""
+    if num_shards <= 1:
+        return 0
+    return zlib.crc32(address.encode("utf-8")) % num_shards
+
+
+def make_addresses(num_nodes: int) -> List[str]:
+    """The canonical address universe of a sharded run."""
+    return [f"n{index:06d}" for index in range(num_nodes)]
+
+
+def _actor_seed(seed: int, address: str) -> int:
+    """Stable per-actor RNG seed (sha256, not ``hash()`` — the latter
+    is salted per process for strings)."""
+    digest = hashlib.sha256(f"{seed}|{address}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _pair_unit(seed: int, src: str, dst: str, seq: int) -> float:
+    """A unit float in ``[0, 1)`` that is a pure function of the link
+    and the sender's send counter — the jitter source for message
+    delays. crc32 is plenty for spreading simulated arrivals and is an
+    order of magnitude cheaper than a cryptographic hash on the
+    per-message hot path."""
+    return (zlib.crc32(f"{seed}|{src}|{dst}|{seq}".encode("utf-8"))
+            & 0xFFFFFFFF) / 4294967296.0
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Immutable description of a sharded run (picklable: it is what a
+    forked worker receives to rebuild its shard partition)."""
+
+    num_nodes: int
+    num_shards: int = 1
+    seed: int = 0
+    #: Minimum message delay == maximum barrier window. Cross-shard
+    #: exchange happens every ``window`` simulated seconds.
+    lookahead: float = 0.05
+    #: Barrier window width; defaults to the lookahead (the widest
+    #: window that is still conservative).
+    window: Optional[float] = None
+    #: Message delay is ``lookahead + unit * latency_jitter``.
+    latency_jitter: float = 0.05
+    #: Record the executed-event stream for the order digest (costs
+    #: memory + barrier bandwidth; determinism gates turn it on, the
+    #: throughput bench leaves it off).
+    digest: bool = False
+    #: Collect per-actor model stats at the end of the run.
+    collect_node_stats: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if self.lookahead <= 0:
+            raise ValueError("lookahead must be > 0 (it is the minimum "
+                             "message delay the barrier relies on)")
+        if self.latency_jitter < 0:
+            raise ValueError("latency_jitter must be >= 0")
+        if self.window is not None and not 0 < self.window <= self.lookahead:
+            raise ValueError(
+                f"barrier window ({self.window}) must be in (0, lookahead="
+                f"{self.lookahead}]: a wider window would let a message "
+                f"arrive inside the window it was sent in, after its "
+                f"arrival instant was already executed")
+
+    @property
+    def barrier_window(self) -> float:
+        return self.window if self.window is not None else self.lookahead
+
+
+@dataclass
+class ShardStats:
+    """Kernel-level counters of one shard (model stats live on the
+    actors)."""
+
+    shard_id: int = 0
+    actors: int = 0
+    events: int = 0
+    messages_sent: int = 0
+    cross_shard_messages: int = 0
+    timers_set: int = 0
+    dropped_to_departed: int = 0
+    departed: int = 0
+
+    def merge(self, other: "ShardStats") -> None:
+        self.actors += other.actors
+        self.events += other.events
+        self.messages_sent += other.messages_sent
+        self.cross_shard_messages += other.cross_shard_messages
+        self.timers_set += other.timers_set
+        self.dropped_to_departed += other.dropped_to_departed
+        self.departed += other.departed
+
+
+class ShardActor:
+    """Base class for sharded-simulation nodes.
+
+    Subclasses override :meth:`on_start`, :meth:`on_timer` and
+    :meth:`on_message`; they talk to the world exclusively through
+    :meth:`send`, :meth:`set_timer` and :meth:`depart`. Payloads must
+    be picklable primitives (they may cross a process boundary).
+
+    ``self.rng`` is a private, per-actor seeded ``random.Random`` —
+    the only sanctioned randomness source for model decisions (a
+    shared stream would be consumed in shard-layout-dependent order
+    and break the byte-identity contract).
+    """
+
+    def __init__(self, address: str, config: Dict[str, Any],
+                 rng: random.Random) -> None:
+        self.address = address
+        self.config = config
+        self.rng = rng
+        self.alive = True
+        self._runtime: Optional["ShardRuntime"] = None
+        self._timer_seq = 0
+        self._msg_seq = 0
+
+    # -- model hooks ---------------------------------------------------
+
+    def on_start(self) -> None:
+        """Called once at simulated time 0 (address order per shard)."""
+
+    def on_timer(self, tag: str) -> None:
+        """A timer set by :meth:`set_timer` fired."""
+
+    def on_message(self, src: str, kind: str, payload: Any) -> None:
+        """A message from *src* arrived."""
+
+    def node_stats(self) -> Dict[str, Any]:
+        """Per-node model counters (``collect_node_stats`` runs)."""
+        return {}
+
+    # -- world API -----------------------------------------------------
+
+    def send(self, dst: str, kind: str, payload: Any = None) -> None:
+        """Send a message; it arrives after ``lookahead + jitter``
+        seconds (the delay is a pure function of the link and this
+        actor's send counter)."""
+        self._runtime._send(self, dst, kind, payload)
+
+    def set_timer(self, delay: float, tag: str) -> None:
+        """Fire :meth:`on_timer` with *tag* after *delay* seconds."""
+        self._runtime._set_timer(self, delay, tag)
+
+    def depart(self) -> None:
+        """Leave the simulation (churn): pending deliveries and timers
+        addressed to this actor are dropped from now on."""
+        if self.alive:
+            self.alive = False
+            self._runtime.stats.departed += 1
+
+
+class ShardRuntime:
+    """One shard: its actors, its event heap, its outbox.
+
+    Heap entries are ``[time, key, desc]`` plain lists; ``key`` is the
+    deterministic ``(rank, actor, seq)`` tuple and ``desc`` one of::
+
+        ("t", address, tag)                  # timer
+        ("m", dst, src, kind, payload)       # message delivery
+
+    Cross-shard descriptors travel as ``(dst_shard, time, key, desc)``
+    tuples through :attr:`outbox` / :meth:`inject`.
+    """
+
+    def __init__(self, shard_id: int, spec: ShardSpec, actor_class,
+                 actor_config: Optional[Dict[str, Any]] = None,
+                 addresses: Optional[Sequence[str]] = None) -> None:
+        self.shard_id = shard_id
+        self.spec = spec
+        self.now = 0.0
+        self.heap: List[list] = []
+        self.outbox: List[Tuple[int, float, tuple, tuple]] = []
+        self.stats = ShardStats(shard_id=shard_id)
+        self.records: List[tuple] = []
+        config = actor_config or {}
+        universe = (list(addresses) if addresses is not None
+                    else make_addresses(spec.num_nodes))
+        self.actors: Dict[str, ShardActor] = {}
+        for address in universe:
+            if shard_of(address, spec.num_shards) != shard_id:
+                continue
+            actor = actor_class(
+                address, config,
+                random.Random(_actor_seed(spec.seed, address)))
+            actor._runtime = self
+            self.actors[address] = actor
+        self.stats.actors = len(self.actors)
+        for address in sorted(self.actors):
+            self.actors[address].on_start()
+
+    # -- scheduling (called from actors) -------------------------------
+
+    def _set_timer(self, actor: ShardActor, delay: float, tag: str) -> None:
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        actor._timer_seq += 1
+        key = (_RANK_TIMER, actor.address, actor._timer_seq)
+        heapq.heappush(self.heap,
+                       [self.now + delay, key, ("t", actor.address, tag)])
+        self.stats.timers_set += 1
+
+    def _send(self, actor: ShardActor, dst: str, kind: str,
+              payload: Any) -> None:
+        spec = self.spec
+        actor._msg_seq += 1
+        seq = actor._msg_seq
+        src = actor.address
+        delay = spec.lookahead + spec.latency_jitter * _pair_unit(
+            spec.seed, src, dst, seq)
+        when = self.now + delay
+        key = (_RANK_MESSAGE, src, seq)
+        desc = ("m", dst, src, kind, payload)
+        self.stats.messages_sent += 1
+        dst_shard = shard_of(dst, spec.num_shards)
+        if dst_shard == self.shard_id:
+            heapq.heappush(self.heap, [when, key, desc])
+        else:
+            self.stats.cross_shard_messages += 1
+            self.outbox.append((dst_shard, when, key, desc))
+
+    # -- barrier protocol ---------------------------------------------
+
+    def inject(self, events: Sequence[Tuple[int, float, tuple, tuple]]) -> None:
+        """Accept cross-shard events routed to this shard at a barrier."""
+        heap = self.heap
+        for _dst_shard, when, key, desc in events:
+            heapq.heappush(heap, [when, key, desc])
+
+    def run_window(self, t_end: float) -> List[Tuple[int, float, tuple, tuple]]:
+        """Execute every event with ``time < t_end`` in ``(time, key)``
+        order, advance the clock to *t_end*, and return (and clear)
+        the outbox of cross-shard messages sent along the way."""
+        heap = self.heap
+        spec = self.spec
+        record = self.records.append if spec.digest else None
+        while heap and heap[0][0] < t_end:
+            entry = heapq.heappop(heap)
+            self.now = entry[0]
+            desc = entry[2]
+            self.stats.events += 1
+            if record is not None:
+                key = entry[1]
+                record((entry[0], key[0], key[1], key[2], desc[0]))
+            if desc[0] == "m":
+                actor = self.actors[desc[1]]
+                if not actor.alive:
+                    self.stats.dropped_to_departed += 1
+                    continue
+                actor.on_message(desc[2], desc[3], desc[4])
+            else:
+                actor = self.actors[desc[1]]
+                if not actor.alive:
+                    self.stats.dropped_to_departed += 1
+                    continue
+                actor.on_timer(desc[2])
+        self.now = t_end
+        outbox, self.outbox = self.outbox, []
+        return outbox
+
+    def take_records(self) -> List[tuple]:
+        """Drain this window's executed-event records, sorted by
+        ``(time, key)``.
+
+        Execution order may locally diverge from key order when a
+        handler schedules a same-instant event with a smaller key than
+        the one being executed; sorting restores the canonical merged
+        order the digest is defined over (state evolution is
+        unaffected — same-instant events never cross actors, because
+        every message delay is at least the lookahead).
+        """
+        records, self.records = self.records, []
+        records.sort()
+        return records
+
+    def node_stats(self) -> Dict[str, Dict[str, Any]]:
+        return {address: actor.node_stats()
+                for address, actor in self.actors.items()}

@@ -12,6 +12,10 @@ guards:
   inverted index both speeds scoring up and changes no score.
 - **simulator events/sec** — the discrete-event loop on a synthetic
   self-rescheduling workload with a cancellation component.
+- **sharded-kernel events/sec** — the space-partitioned
+  :class:`~repro.net.simulator.ShardedSimulator` on the churn+chaos
+  workload: a nodes-vs-events/sec curve and a worker-count curve
+  (see ``docs/performance.md``).
 - **protected searches/sec** — end-to-end wall-clock throughput of
   ``CyclosaUser.search`` on a demo overlay, plus the per-stage
   *simulated* latency breakdown from one traced search
@@ -48,6 +52,8 @@ THROUGHPUT_KEYS = (
     ("monitor", "disabled_events_per_sec"),
     ("lint", "files_per_sec_jobs1"),
     ("lint", "files_per_sec_pool"),
+    ("shard_scaling", "events_per_sec_workers1"),
+    ("shard_scaling", "best_events_per_sec"),
 )
 
 #: Default workload parameters (overridable via CLI flags / kwargs).
@@ -66,6 +72,10 @@ DEFAULT_PARAMS: Dict[str, Any] = {
     "replica_counts": [2, 4],
     "monitor_windows": 400,
     "lint_jobs": 2,
+    "shard_nodes": [1000, 2500, 5000],
+    "shard_workers": [1, 2, 4, 8],
+    "shard_count": 8,
+    "shard_duration": 5.0,
     "profile_nodes": 8,
     "profile_searches": 6,
     "profile_sample_interval": 256,
@@ -424,6 +434,77 @@ def bench_engine_scaling(engine_queries: int = 400, engine_unique: int = 24,
     }
 
 
+# -- 4b. the sharded kernel under scale-out ------------------------------
+
+
+def bench_shard_scaling(shard_nodes=(1000, 2500, 5000),
+                        shard_workers=(1, 2, 4, 8), shard_count: int = 8,
+                        shard_duration: float = 5.0, seed: int = 0,
+                        **_ignored: Any) -> Dict[str, Any]:
+    """Events/sec of the space-partitioned kernel as the node space and
+    the worker pool grow.
+
+    Two curves over the churn+chaos workload of
+    :mod:`repro.experiments.shard_scale`:
+
+    - **node curve** — overlay size vs events/sec at ``workers=1``
+      (the in-process path), showing the kernel holds its throughput
+      as the node space grows past what one heap tracks comfortably.
+    - **worker curve** — at the largest overlay, events/sec as shards
+      spread over forked workers. The report pins ``cpu_count``:
+      speedup is bounded by the cores actually available, so on a
+      single-core box the extra workers only measure barrier/IPC
+      overhead — exactly the number that should not creep up.
+
+    Byte-identity across the layouts is *not* re-proved here (digest
+    off — hashing every event would measure the hash); that is the
+    ``shard`` test suite's and ``benchmarks/check_shard_determinism``'s
+    job. Only wall clocks differ between layouts.
+    """
+    import os
+
+    from repro.experiments import shard_scale
+
+    def one(num_nodes: int, workers: int) -> Dict[str, Any]:
+        report = shard_scale.run(
+            num_nodes=num_nodes, shards=shard_count, workers=workers,
+            duration=shard_duration, seed=seed)
+        return {
+            "num_nodes": num_nodes,
+            "workers": workers,
+            "events": report["events"],
+            "cross_shard_fraction":
+                round(report["cross_shard_fraction"], 4),
+            "events_per_sec": report["events_per_sec"],
+        }
+
+    node_curve = [one(num_nodes, 1) for num_nodes in shard_nodes]
+    largest = max(shard_nodes)
+    worker_curve = []
+    for workers in shard_workers:
+        if workers > shard_count:
+            continue
+        if workers == 1:
+            row = dict(node_curve[-1])
+        else:
+            row = one(largest, workers)
+        base = node_curve[-1]["events_per_sec"]
+        row["speedup"] = row["events_per_sec"] / base if base else 0.0
+        worker_curve.append(row)
+    best = max(worker_curve, key=lambda row: row["events_per_sec"])
+    return {
+        "shards": shard_count,
+        "duration": shard_duration,
+        "cpu_count": os.cpu_count() or 1,
+        "node_curve": node_curve,
+        "worker_curve": worker_curve,
+        "events_per_sec_workers1": node_curve[-1]["events_per_sec"],
+        "best_workers": best["workers"],
+        "best_events_per_sec": best["events_per_sec"],
+        "best_speedup": best["speedup"],
+    }
+
+
 # -- 5. the time-series flight recorder ----------------------------------
 
 
@@ -593,6 +674,7 @@ BENCH_SECTIONS = {
     "simulator": bench_simulator,
     "search": bench_search,
     "engine_scaling": bench_engine_scaling,
+    "shard_scaling": bench_shard_scaling,
     "monitor": bench_monitor,
     "lint": bench_lint,
     "profile": bench_profile,
@@ -735,6 +817,24 @@ def format_report(results: Dict[str, Any]) -> str:
             f"  best speedup              : "
             f"{scaling['speedup']:>11.1f}x  "
             f"(sharded identical: {scaling['sharded_identical']})")
+    sharding = results.get("shard_scaling")
+    if sharding is not None:
+        lines += [
+            "",
+            f"sharded kernel ({sharding['shards']} shards, "
+            f"{sharding['duration']}s simulated, "
+            f"{sharding['cpu_count']} cpu core(s))",
+        ]
+        for row in sharding["node_curve"]:
+            lines.append(
+                f"  {row['num_nodes']:>6} nodes events/sec    : "
+                f"{row['events_per_sec']:>12.0f}  "
+                f"({row['cross_shard_fraction'] * 100:.0f}% cross-shard)")
+        for row in sharding["worker_curve"]:
+            lines.append(
+                f"  {row['workers']:>2} worker(s) events/sec   : "
+                f"{row['events_per_sec']:>12.0f}  "
+                f"({row['speedup']:.2f}x vs workers=1)")
     if mon is not None:
         lines += [
             "",

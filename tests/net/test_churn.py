@@ -57,6 +57,32 @@ class TestChurnProcess:
         with pytest.raises(ValueError):
             churn.schedule_departures([], start=0, duration=1, style="odd")
 
+    def test_past_window_rejected_with_clear_error(self, deployment):
+        # The deployment warmed up, so sim.now is well past zero; a
+        # window behind the clock used to blow up deep inside
+        # Simulator.schedule — it must fail up front, naming both the
+        # window and the current simulated time.
+        churn = ChurnProcess(deployment.network, deployment.rng)
+        now = deployment.simulator.now
+        assert now > 0
+        with pytest.raises(ValueError) as excinfo:
+            churn.schedule_departures(deployment.nodes[10:12],
+                                      start=now - 5.0, duration=3.0)
+        message = str(excinfo.value)
+        assert f"[{now - 5.0}, {now - 2.0}]" in message
+        assert f"sim.now={now}" in message
+
+    def test_window_starting_exactly_now_is_fine(self, deployment):
+        departed = []
+        churn = ChurnProcess(deployment.network, deployment.rng,
+                             repository=deployment.services.repository,
+                             on_depart=departed.append)
+        now = deployment.simulator.now
+        churn.schedule_departures(deployment.nodes[12:13], start=now,
+                                  duration=2.0)
+        deployment.run(3.0)
+        assert departed == [deployment.nodes[12].address]
+
     def test_departures_counted_and_spanned_when_observed(self):
         from repro import obs
 

@@ -1,0 +1,177 @@
+"""Tests for the space-partitioned sharded kernel.
+
+The load-bearing property is byte-identity: a run's merged event
+order, per-node stats and aggregate counters are a pure function of
+the seed — the shard count and the worker count only change *where*
+events execute, never *what* executes or in which order.
+"""
+
+import pytest
+
+from repro.experiments import shard_scale
+from repro.net.shards import ShardActor, ShardSpec, shard_of
+from repro.net.simulator import ShardedSimulator
+
+pytestmark = pytest.mark.shard
+
+
+class EchoActor(ShardActor):
+    """Minimal traffic source: each node pings a deterministic next
+    neighbour once a second; neighbours echo; node 7 departs early."""
+
+    def on_start(self):
+        self.pings = 0
+        self.echoes = 0
+        self.set_timer(self.rng.uniform(0.0, 1.0), "ping")
+        if self.address == "n000007":
+            self.set_timer(2.0, "depart")
+
+    def _neighbour(self):
+        me = int(self.address[1:])
+        return f"n{(me + 1) % self.config['num_nodes']:06d}"
+
+    def on_timer(self, tag):
+        if tag == "ping":
+            self.send(self._neighbour(), "ping", self.pings)
+            self.pings += 1
+            self.set_timer(1.0, "ping")
+        elif tag == "depart":
+            self.depart()
+
+    def on_message(self, src, kind, payload):
+        if kind == "ping":
+            self.send(src, "echo", payload)
+        else:
+            self.echoes += 1
+
+    def node_stats(self):
+        return {"pings": self.pings, "echoes": self.echoes}
+
+
+def _echo_run(shards, workers, seed=0, num_nodes=40):
+    kernel = ShardedSimulator(
+        EchoActor, {"num_nodes": num_nodes}, num_nodes=num_nodes,
+        shards=shards, workers=workers, seed=seed, digest=True,
+        collect_node_stats=True)
+    return kernel.run(until=6.0)
+
+
+class TestByteIdentity:
+    def test_identical_across_shard_counts(self):
+        reference = _echo_run(shards=1, workers=1)
+        for shards in (2, 4):
+            candidate = _echo_run(shards=shards, workers=1)
+            assert candidate.event_order_digest \
+                == reference.event_order_digest
+            assert candidate.events == reference.events
+            assert candidate.node_stats == reference.node_stats
+            assert candidate.aggregate == reference.aggregate
+            assert candidate.departed == reference.departed
+
+    def test_identical_across_worker_counts(self):
+        reference = _echo_run(shards=4, workers=1)
+        for workers in (2, 4):
+            candidate = _echo_run(shards=4, workers=workers)
+            assert candidate.event_order_digest \
+                == reference.event_order_digest
+            assert candidate.node_stats == reference.node_stats
+
+    def test_seed_actually_changes_the_run(self):
+        assert _echo_run(1, 1, seed=0).event_order_digest \
+            != _echo_run(1, 1, seed=1).event_order_digest
+
+    def test_churn_chaos_experiment_identical_across_layouts(self):
+        layouts = ((1, 1), (2, 1), (4, 2))
+        reports = [
+            shard_scale.run(num_nodes=150, shards=shards, workers=workers,
+                            duration=4.0, seed=3, digest=True,
+                            collect_node_stats=True)
+            for shards, workers in layouts
+        ]
+        # The scenario echo and the cross-shard *accounting* naturally
+        # depend on the layout; everything the model computed must not.
+        def outcome(report):
+            return {key: report[key] for key in (
+                "windows", "events", "messages_sent", "dropped_to_departed",
+                "departed", "completed_rounds", "ok_rounds",
+                "partial_rounds", "failed_rounds", "chaos_dropped",
+                "event_order_digest", "node_stats")}
+
+        reference = outcome(reports[0])
+        for report in reports[1:]:
+            assert outcome(report) == reference
+
+    def test_gate_passes(self, capsys):
+        from benchmarks.check_shard_determinism import main
+
+        assert main(["--nodes", "80", "--duration", "3"]) == 0
+        assert "identical" in capsys.readouterr().out
+
+
+class TestKernelBehaviour:
+    def test_departed_nodes_stop_and_drop_traffic(self):
+        report = _echo_run(shards=2, workers=1)
+        assert report.departed == 1
+        assert report.dropped_to_departed > 0
+        # The departed node's counters freeze at departure time.
+        assert report.node_stats["n000007"]["pings"] <= 3
+
+    def test_cross_shard_only_counted_when_sharded(self):
+        assert _echo_run(shards=1, workers=1).cross_shard_messages == 0
+        sharded = _echo_run(shards=4, workers=1)
+        assert 0 < sharded.cross_shard_messages <= sharded.messages_sent
+
+    def test_events_per_sec_positive(self):
+        report = _echo_run(shards=1, workers=1)
+        assert report.events > 0
+        assert report.events_per_sec > 0
+
+    def test_report_counts_are_consistent(self):
+        report = _echo_run(shards=4, workers=1)
+        # Every delivered message and every timer firing is an event.
+        assert report.events \
+            <= report.messages_sent + report.timers_set
+
+
+class TestValidation:
+    def test_workers_cannot_exceed_shards(self):
+        with pytest.raises(ValueError):
+            ShardedSimulator(EchoActor, {"num_nodes": 4}, num_nodes=4,
+                             shards=2, workers=3)
+
+    def test_lookahead_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ShardSpec(num_nodes=4, lookahead=0.0)
+
+    def test_window_cannot_exceed_lookahead(self):
+        with pytest.raises(ValueError):
+            ShardSpec(num_nodes=4, lookahead=0.05, window=0.06)
+
+    def test_run_is_one_shot(self):
+        kernel = ShardedSimulator(EchoActor, {"num_nodes": 8},
+                                  num_nodes=8, shards=1)
+        kernel.run(until=1.0)
+        with pytest.raises(RuntimeError):
+            kernel.run(until=1.0)
+
+    def test_scenario_rejects_unknown_knobs(self):
+        with pytest.raises(TypeError):
+            shard_scale.run(num_nodes=10, duration=0.5, bogus_knob=1)
+
+
+class TestShardOf:
+    def test_in_range_and_deterministic(self):
+        for index in range(200):
+            address = f"n{index:06d}"
+            shard = shard_of(address, 4)
+            assert 0 <= shard < 4
+            assert shard == shard_of(address, 4)
+
+    def test_single_shard_is_zero(self):
+        assert shard_of("anything", 1) == 0
+
+    def test_spreads_addresses(self):
+        counts = [0] * 4
+        for index in range(1000):
+            counts[shard_of(f"n{index:06d}", 4)] += 1
+        assert min(counts) > 100  # crc32 spreads the address space

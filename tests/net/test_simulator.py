@@ -1,9 +1,17 @@
 """Tests for repro.net.simulator."""
 
+import math
+import struct
+
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.net.simulator import Simulator
+
+
+def _bits(value: float) -> bytes:
+    """The exact IEEE-754 bits — `==` alone would conflate 0.0/-0.0."""
+    return struct.pack("<d", value)
 
 
 class TestScheduling:
@@ -56,6 +64,128 @@ class TestScheduling:
         sim.schedule(1.0, outer)
         sim.run()
         assert seen == [2.0]
+
+
+class TestScheduleAtExact:
+    """`schedule_at(when)` must fire with ``sim.now == when`` to the
+    bit — the old delay round trip (`when - now` then `now + delay`)
+    lost a ULP for adversarial floats, so deadline comparisons
+    against `when` inside the callback could misfire."""
+
+    def test_callback_sees_exact_absolute_time(self):
+        # A classic non-representable round trip: with now = 0.1,
+        # 0.1 + (0.3 - 0.1) != 0.3 in binary64.
+        sim = Simulator()
+        sim.advance(0.1)
+        seen = []
+        sim.schedule_at(0.3, lambda: seen.append(sim.now))
+        sim.run()
+        assert _bits(seen[0]) == _bits(0.3)
+
+    def test_past_time_still_rejected(self):
+        sim = Simulator()
+        sim.advance(5.0)
+        with pytest.raises(ValueError):
+            sim.schedule_at(math.nextafter(5.0, -math.inf), lambda: None)
+
+    def test_now_is_allowed_and_exact(self):
+        sim = Simulator()
+        sim.advance(1.0 / 3.0)
+        seen = []
+        sim.schedule_at(sim.now, lambda: seen.append(sim.now))
+        sim.run()
+        assert _bits(seen[0]) == _bits(1.0 / 3.0)
+
+    @given(
+        now=st.floats(min_value=0.0, max_value=1e18, allow_nan=False),
+        delta=st.floats(min_value=0.0, max_value=1e18, allow_nan=False))
+    def test_property_fires_bit_exact(self, now, delta):
+        sim = Simulator()
+        if now:
+            sim.advance(now)
+        when = sim.now + delta
+        seen = []
+        sim.schedule_at(when, lambda: seen.append(sim.now))
+        sim.run()
+        assert [_bits(value) for value in seen] == [_bits(when)]
+
+    @given(st.floats(min_value=0.0, max_value=1e18, allow_nan=False))
+    def test_property_past_times_rejected(self, now):
+        sim = Simulator()
+        if now:
+            sim.advance(now)
+        before = math.nextafter(sim.now, -math.inf)
+        if before < sim.now:  # nextafter(0.0, -inf) is -0.0 == 0.0
+            with pytest.raises(ValueError):
+                sim.schedule_at(before, lambda: None)
+
+
+class TestPendingCount:
+    """`pending` counts live events only; tombstones left by `cancel`
+    stay in the heap (visible as `heap_size`) but must not inflate the
+    backlog number the deployment gauge reports."""
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None)
+                   for i in range(10)]
+        assert sim.pending == 10
+        for handle in handles[::2]:
+            handle.cancel()
+        assert sim.pending == 5
+        assert sim.heap_size == 10  # tombstones still queued
+
+    def test_double_cancel_decrements_once(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        handle = sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending == 1
+
+    def test_cancel_after_fire_does_not_decrement(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=1.5)
+        assert sim.pending == 1
+        handle.cancel()  # already consumed — must be a no-op
+        assert sim.pending == 1
+
+    def test_execution_drains_pending(self):
+        sim = Simulator()
+        for index in range(4):
+            sim.schedule(float(index + 1), lambda: None)
+        sim.step()
+        assert sim.pending == 3
+        sim.run()
+        assert sim.pending == 0
+
+    def test_post_counts_too(self):
+        sim = Simulator()
+        sim.post(1.0, lambda: None)
+        sim.post(2.0, lambda: None)
+        assert sim.pending == 2
+
+    def test_cancellation_storm(self):
+        # Interleave schedule/cancel/execute heavily; the live count
+        # must track reality at every step.
+        sim = Simulator()
+        live = 0
+        handles = []
+        for index in range(300):
+            handle = sim.schedule(1.0 + index * 1e-3, lambda: None)
+            handles.append(handle)
+            live += 1
+            if index % 3 == 0:
+                handles[index // 2].cancel()
+            assert sim.heap_size == index + 1
+        cancelled = sum(1 for handle in handles if handle.cancelled)
+        assert sim.pending == 300 - cancelled
+        sim.run()
+        assert sim.pending == 0
+        assert sim.heap_size == 0
+        assert sim.events_processed == 300 - cancelled
 
 
 class TestCancellation:

@@ -19,8 +19,9 @@ from repro.cli import main as cli_main
 TINY = dict(history_size=120, probes=10, linear_probes=4,
             num_events=1500, chains=8, num_nodes=4, searches=2,
             engine_queries=10, engine_unique=3, engine_docs_per_topic=6,
-            replica_counts=[2], monitor_windows=40, seed=0,
-            repeats=1)
+            replica_counts=[2], monitor_windows=40,
+            shard_nodes=[30, 60], shard_workers=[1, 2], shard_count=4,
+            shard_duration=1.5, seed=0, repeats=1)
 
 
 @pytest.fixture(scope="module")
@@ -32,7 +33,8 @@ class TestRunAll:
     def test_sections_and_meta(self, tiny_results):
         assert set(tiny_results) >= {"meta", "sensitivity", "simulator",
                                      "search", "engine_scaling",
-                                     "monitor", "text_caches"}
+                                     "shard_scaling", "monitor",
+                                     "text_caches"}
         meta = tiny_results["meta"]
         assert meta["schema"] == 1
         assert meta["params"]["history_size"] == 120
@@ -68,6 +70,28 @@ class TestRunAll:
         assert perf.workload_queries(30, seed=5) == \
             perf.workload_queries(30, seed=5)
         assert len(perf.workload_queries(30, seed=5)) == 30
+
+    def test_shard_scaling_section_shape(self, tiny_results):
+        sharding = tiny_results["shard_scaling"]
+        assert sharding["shards"] == 4
+        assert sharding["cpu_count"] >= 1
+        assert [row["num_nodes"] for row in sharding["node_curve"]] \
+            == [30, 60]
+        assert [row["workers"] for row in sharding["worker_curve"]] \
+            == [1, 2]
+        # The worker curve reuses the largest node point at workers=1.
+        assert sharding["worker_curve"][0]["num_nodes"] == 60
+        assert sharding["worker_curve"][0]["speedup"] == 1.0
+        assert sharding["events_per_sec_workers1"] > 0
+        assert sharding["best_events_per_sec"] > 0
+        assert sharding["best_workers"] in (1, 2)
+
+    def test_shard_scaling_worker_counts_capped_at_shards(self):
+        section = perf.bench_shard_scaling(
+            shard_nodes=[20], shard_workers=[1, 2, 16], shard_count=2,
+            shard_duration=1.0)
+        assert [row["workers"] for row in section["worker_curve"]] \
+            == [1, 2]
 
     def test_engine_scaling_section_shape(self, tiny_results):
         scaling = tiny_results["engine_scaling"]
@@ -213,7 +237,9 @@ class TestCheckRegression:
 #: CLI flags keeping a full `repro perf` run at toy scale.
 TINY_FLAGS = ["--history", "100", "--probes", "6", "--events", "1000",
               "--nodes", "4", "--searches", "2", "--monitor-windows", "40",
-              "--engine-queries", "8", "--engine-docs-per-topic", "6"]
+              "--engine-queries", "8", "--engine-docs-per-topic", "6",
+              "--shard-nodes", "30", "60", "--shard-workers", "1", "2",
+              "--shard-count", "4", "--shard-duration", "1.5"]
 
 
 class TestCli:
